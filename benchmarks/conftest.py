@@ -1,0 +1,53 @@
+"""Shared infrastructure for the per-figure benchmark suite.
+
+Every benchmark regenerates one of the paper's tables/figures at laptop
+scale (smaller videos / fewer seeds than the paper, same parameter shapes).
+Prepared datasets are cached per session; each bench measures its own
+algorithm sweep with pytest-benchmark and writes the reproduced rows to
+``benchmarks/results/<name>.txt`` (also echoed to stdout, visible with
+``pytest -s``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.prep import PreparedVideo, prepare_dataset
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+# Laptop-scale defaults: 2 videos per dataset, shortened lengths.
+BENCH_SCALE = {
+    "mot17": dict(n_videos=2, n_frames=700),
+    "kitti": dict(n_videos=2, n_frames=600),
+    "pathtrack": dict(n_videos=2, n_frames=1400),
+}
+
+
+@pytest.fixture(scope="session")
+def datasets() -> dict[str, list[PreparedVideo]]:
+    """Prepared videos per dataset (simulate → detect → track → label)."""
+    prepared = {}
+    for name, scale in BENCH_SCALE.items():
+        prepared[name] = prepare_dataset(
+            name,
+            scale["n_videos"],
+            seed=0,
+            n_frames=scale["n_frames"],
+        )
+    return prepared
+
+
+@pytest.fixture(scope="session")
+def mot17_videos(datasets) -> list[PreparedVideo]:
+    return datasets["mot17"]
+
+
+def publish(name: str, text: str) -> None:
+    """Print a reproduced table and persist it under benchmarks/results/."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,63 @@
+"""Extension bench — how much of TMerge's edge is the feature-reuse cache?
+
+DESIGN.md calls this design choice out explicitly: the paper grants the
+reuse optimization to TMerge (§IV-B) while PS and LCB, as described,
+extract features per draw.  This bench re-runs PS and LCB *with* the cache
+(``reuse_features=True``) to isolate the two effects:
+
+* caching alone makes PS/LCB much faster, but
+* TMerge retains an advantage from adaptive allocation.
+"""
+
+from conftest import publish
+
+from repro.core.lcb import LcbMerger
+from repro.core.proportional import ProportionalMerger
+from repro.core.tmerge import TMerge
+from repro.experiments.reporting import format_table
+from repro.experiments.sweeps import evaluate_merger
+
+
+def _measure(videos):
+    configs = [
+        ("PS (fresh)", lambda: ProportionalMerger(eta=0.001, k=0.05, seed=3)),
+        (
+            "PS (+cache)",
+            lambda: ProportionalMerger(
+                eta=0.001, k=0.05, seed=3, reuse_features=True
+            ),
+        ),
+        ("LCB (fresh)", lambda: LcbMerger(tau_max=10_000, k=0.05, seed=3)),
+        (
+            "LCB (+cache)",
+            lambda: LcbMerger(
+                tau_max=10_000, k=0.05, seed=3, reuse_features=True
+            ),
+        ),
+        ("TMerge", lambda: TMerge(k=0.05, tau_max=10_000, seed=3)),
+    ]
+    return [
+        (name, evaluate_merger(factory, videos))
+        for name, factory in configs
+    ]
+
+
+def test_cache_ablation(benchmark, mot17_videos):
+    results = benchmark.pedantic(
+        lambda: _measure(mot17_videos), rounds=1, iterations=1
+    )
+    publish(
+        "ext_cache_ablation",
+        format_table(
+            ["method", "REC", "FPS"],
+            [[name, point.rec, point.fps] for name, point in results],
+            title="Extension — feature-reuse cache ablation (MOT-17-like)",
+        ),
+    )
+
+    by_name = dict(results)
+    # The cache is a large part of the speed story ...
+    assert by_name["PS (+cache)"].fps > 2.0 * by_name["PS (fresh)"].fps
+    assert by_name["LCB (+cache)"].fps > 2.0 * by_name["LCB (fresh)"].fps
+    # ... but does not change what was found (same draws, same estimates).
+    assert abs(by_name["PS (+cache)"].rec - by_name["PS (fresh)"].rec) < 0.25

@@ -1,0 +1,50 @@
+"""Figure 10 — sensitivity to the BetaInit threshold thr_S.
+
+Paper shape: every BetaInit-enabled curve beats the no-BetaInit curve, and
+the threshold choice matters (the curves separate), motivating the grid
+search the paper recommends.
+"""
+
+from conftest import publish
+
+from repro.experiments.figures import fig10_thr_s
+from repro.experiments.reporting import format_table
+
+THRESHOLDS = (None, 100.0, 200.0, 300.0)
+TAUS = (250, 500, 1000, 2000)
+
+
+def _curve_height(points):
+    return sum(p.rec for p in points) / len(points)
+
+
+def test_fig10_thr_s_sensitivity(benchmark, mot17_videos):
+    results = benchmark.pedantic(
+        lambda: fig10_thr_s(
+            mot17_videos, thresholds=THRESHOLDS, taus=TAUS, batch_size=10
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for label, points in results.items():
+        for point in points:
+            rows.append([label, point.parameter, point.rec, point.fps])
+    publish(
+        "fig10_thrs",
+        format_table(
+            ["thr_S", "tau_max", "REC", "FPS"],
+            rows,
+            title="Figure 10 — REC-FPS vs thr_S (MOT-17-like)",
+        ),
+    )
+
+    no_init = _curve_height(results["no BetaInit"])
+    with_init = [
+        _curve_height(points)
+        for label, points in results.items()
+        if label != "no BetaInit"
+    ]
+    # Every BetaInit setting beats no BetaInit.
+    assert all(height > no_init for height in with_init)

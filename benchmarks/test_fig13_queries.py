@@ -1,0 +1,43 @@
+"""Figure 13 — recall of Count and Co-occurrence queries ± TMerge.
+
+Paper shape: without merging, Count recall falls below ~75% and
+Co-occurrence suffers too; merging lifts both to ~95%+.
+"""
+
+from conftest import publish
+
+from repro.experiments.figures import fig13_query_recall
+from repro.experiments.reporting import format_table
+
+
+def test_fig13_query_recall(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig13_query_recall(
+            preset="mot17",
+            n_videos=2,
+            n_frames=700,
+            count_min_frames=200,
+            cooccur_min_frames=50,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    publish(
+        "fig13_queries",
+        format_table(
+            ["query", "recall w/o TMerge", "recall w/ TMerge"],
+            [list(r) for r in rows],
+            title="Figure 13 — query recall (MOT-17-like)",
+        ),
+    )
+
+    values = {name: (before, after) for name, before, after in rows}
+    count_before, count_after = values["Count"]
+    cooccur_before, cooccur_after = values["Co-occurrence"]
+    # Fragmentation visibly hurts the raw results ...
+    assert count_before < 0.9
+    # ... and merging repairs them.
+    assert count_after > count_before
+    assert count_after >= 0.9
+    assert cooccur_after >= cooccur_before
+    assert cooccur_after >= 0.85

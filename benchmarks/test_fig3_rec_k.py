@@ -1,0 +1,38 @@
+"""Figure 3 — REC-K curves of the exhaustive baseline on three datasets.
+
+Paper shape: REC rises steeply with K and exceeds ~0.95 by K ≈ 0.05-0.085
+on every dataset, so a small inspection budget suffices.
+"""
+
+from conftest import publish
+
+from repro.experiments.figures import fig3_rec_k
+from repro.experiments.reporting import format_table
+
+KS = (0.005, 0.01, 0.02, 0.05, 0.1, 0.2)
+
+
+def test_fig3_rec_k_curves(benchmark, datasets):
+    curves = benchmark.pedantic(
+        lambda: fig3_rec_k(datasets, ks=KS), rounds=1, iterations=1
+    )
+
+    rows = []
+    for dataset, points in curves.items():
+        for k, rec in points:
+            rows.append([dataset, k, rec])
+    publish(
+        "fig3_rec_k",
+        format_table(
+            ["dataset", "K", "REC"], rows, title="Figure 3 — REC-K (BL)"
+        ),
+    )
+
+    for dataset, points in curves.items():
+        by_k = dict(points)
+        # Monotone non-decreasing in K.
+        values = [rec for _, rec in points]
+        assert all(a <= b + 1e-9 for a, b in zip(values, values[1:])), dataset
+        # The paper's headline: small K already yields high recall.
+        assert by_k[0.05] >= 0.85, dataset
+        assert by_k[0.2] >= by_k[0.05]

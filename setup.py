@@ -1,0 +1,6 @@
+"""Legacy setup shim — keeps `pip install -e .` working offline
+(environments without the `wheel` package fall back to setup.py develop)."""
+
+from setuptools import setup
+
+setup()

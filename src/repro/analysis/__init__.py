@@ -1,0 +1,19 @@
+"""Analysis utilities reproducing the paper's empirical justifications.
+
+§IV-C motivates BetaInit with two measurements:
+
+* the Pearson correlation between track-pair *scores* and *spatial*
+  distances ``DisS`` is at least 0.3, while
+* the correlation with *temporal* distances ``DisT`` is below 0.1
+  (footnote 4), which is why BetaInit uses space and not time.
+
+:mod:`repro.analysis.correlations` computes both on any prepared data.
+"""
+
+from repro.analysis.correlations import (
+    pearson,
+    temporal_distance,
+    pair_signal_correlations,
+)
+
+__all__ = ["pearson", "temporal_distance", "pair_signal_correlations"]

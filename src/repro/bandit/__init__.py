@@ -1,0 +1,32 @@
+"""Multi-armed bandit machinery.
+
+The paper casts polyonymous-pair identification as a minimization bandit:
+each track pair is an arm, pulling an arm samples one BBox-pair distance,
+and the goal is to concentrate pulls on the lowest-mean arms.  This package
+provides the generic pieces:
+
+* :class:`BetaPosterior` — conjugate Beta–Bernoulli posterior per arm.
+* :class:`ThompsonSampler` — posterior sampling over a set of arms
+  (minimization convention: pick the smallest sampled value).
+* :class:`GaussianPosterior` — a Normal–Normal alternative used by the
+  extension variant of TMerge.
+* :func:`hoeffding_radius` — the confidence radius behind ULB pruning and
+  the LCB competitor.
+* :class:`RegretTracker` — average-regret accounting of §IV-E.
+"""
+
+from repro.bandit.beta import BetaPosterior
+from repro.bandit.gaussian import GaussianPosterior
+from repro.bandit.thompson import ThompsonSampler
+from repro.bandit.confidence import hoeffding_radius, lcb_index, ucb_index
+from repro.bandit.regret import RegretTracker
+
+__all__ = [
+    "BetaPosterior",
+    "GaussianPosterior",
+    "ThompsonSampler",
+    "hoeffding_radius",
+    "lcb_index",
+    "ucb_index",
+    "RegretTracker",
+]

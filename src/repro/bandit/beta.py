@@ -1,0 +1,61 @@
+"""Beta–Bernoulli posteriors.
+
+The Beta distribution is the conjugate prior to the Bernoulli likelihood:
+after observing a success the posterior is ``Be(S+1, F)``, after a failure
+``Be(S, F+1)`` — exactly the update loop of Algorithm 2 (lines 10-13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class BetaPosterior:
+    """A Beta(S, F) posterior over a Bernoulli mean.
+
+    Attributes:
+        successes: the shape parameter ``S`` (pseudo-count of ``r = 1``).
+        failures: the shape parameter ``F`` (pseudo-count of ``r = 0``).
+    """
+
+    successes: float = 1.0
+    failures: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.successes <= 0 or self.failures <= 0:
+            raise ValueError("Beta shape parameters must be positive")
+
+    @property
+    def mean(self) -> float:
+        """Posterior mean ``S / (S + F)`` — the pair score estimate."""
+        return self.successes / (self.successes + self.failures)
+
+    @property
+    def variance(self) -> float:
+        s, f = self.successes, self.failures
+        total = s + f
+        return (s * f) / (total * total * (total + 1.0))
+
+    @property
+    def pulls(self) -> float:
+        """Number of observed trials beyond the Be(1, 1) prior mass."""
+        return self.successes + self.failures - 2.0
+
+    def update(self, outcome: int) -> None:
+        """Fold in one Bernoulli outcome ``r ∈ {0, 1}``."""
+        if outcome == 1:
+            self.successes += 1.0
+        elif outcome == 0:
+            self.failures += 1.0
+        else:
+            raise ValueError(f"Bernoulli outcome must be 0 or 1, got {outcome}")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw θ ~ Be(S, F) (the Thompson sampling step)."""
+        return float(rng.beta(self.successes, self.failures))
+
+    def copy(self) -> "BetaPosterior":
+        return BetaPosterior(self.successes, self.failures)

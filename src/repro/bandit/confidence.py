@@ -1,0 +1,48 @@
+"""Confidence-bound utilities: Hoeffding radii, UCB and LCB indices.
+
+The same Hoeffding radius ``U = sqrt(2 log τ / n)`` serves two roles in the
+paper: the pruning rule ULB (Algorithm 4) and the LCB competitor (§V-B),
+which is UCB1 flipped for minimization.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def hoeffding_radius(total_rounds: int, pulls: int) -> float:
+    """The paper's ``U_{i,j} = sqrt(2 log τ / n_{i,j})``.
+
+    Args:
+        total_rounds: the current iteration count τ (≥ 1).
+        pulls: how many times this arm has been sampled.
+
+    Returns:
+        The two-sided confidence radius; infinite for unpulled arms so they
+        are never prematurely pruned and always preferred by LCB.
+    """
+    if total_rounds < 1:
+        raise ValueError("total_rounds must be >= 1")
+    if pulls < 0:
+        raise ValueError("pulls must be non-negative")
+    if pulls == 0:
+        return math.inf
+    log_term = math.log(total_rounds) if total_rounds > 1 else 0.0
+    return math.sqrt(2.0 * log_term / pulls)
+
+
+def ucb_index(mean: float, total_rounds: int, pulls: int) -> float:
+    """Classic UCB1 index (maximization): mean + radius."""
+    return mean + hoeffding_radius(total_rounds, pulls)
+
+
+def lcb_index(mean: float, total_rounds: int, pulls: int) -> float:
+    """Lower confidence bound (minimization): mean − radius.
+
+    Arms with no pulls have index −∞, forcing initial exploration of every
+    arm exactly as UCB1 does.
+    """
+    radius = hoeffding_radius(total_rounds, pulls)
+    if math.isinf(radius):
+        return -math.inf
+    return mean - radius

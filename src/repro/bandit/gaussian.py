@@ -1,0 +1,55 @@
+"""Normal–Normal posterior — the extension variant of TMerge.
+
+The paper quantizes each normalized distance into a Bernoulli trial before
+updating a Beta posterior.  A natural alternative (flagged in DESIGN.md as
+an ablation) is to keep the continuous observation and maintain a Gaussian
+posterior over the pair score with a known observation noise.  This module
+provides that posterior; ``TMerge(posterior="gaussian")`` uses it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class GaussianPosterior:
+    """Posterior over a mean with Normal prior and known obs. variance.
+
+    Attributes:
+        mean: posterior mean.
+        variance: posterior variance of the mean.
+        obs_variance: assumed variance of each observation.
+        observations: number of observations folded in.
+    """
+
+    mean: float = 0.5
+    variance: float = 0.25
+    obs_variance: float = 0.05
+    observations: int = 0
+
+    def __post_init__(self) -> None:
+        if self.variance <= 0 or self.obs_variance <= 0:
+            raise ValueError("variances must be positive")
+
+    def update(self, value: float) -> None:
+        """Fold in one continuous observation (a normalized distance)."""
+        precision = 1.0 / self.variance
+        obs_precision = 1.0 / self.obs_variance
+        new_precision = precision + obs_precision
+        self.mean = (
+            precision * self.mean + obs_precision * value
+        ) / new_precision
+        self.variance = 1.0 / new_precision
+        self.observations += 1
+
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw θ ~ N(mean, variance)."""
+        return float(rng.normal(self.mean, np.sqrt(self.variance)))
+
+    def copy(self) -> "GaussianPosterior":
+        return GaussianPosterior(
+            self.mean, self.variance, self.obs_variance, self.observations
+        )

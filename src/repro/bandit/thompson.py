@@ -1,0 +1,87 @@
+"""Thompson sampling over a collection of arms (minimization convention).
+
+The sampler is deliberately generic: arms are identified by hashable keys
+and carry any posterior exposing ``sample(rng)`` and ``update(outcome)``.
+TMerge instantiates it with one :class:`~repro.bandit.beta.BetaPosterior`
+per track pair and asks for the arm with the *smallest* sampled value, since
+small distances mean likely-polyonymous pairs.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Protocol
+
+import numpy as np
+
+
+class Posterior(Protocol):
+    """Anything Thompson sampling can drive."""
+
+    def sample(self, rng: np.random.Generator) -> float: ...
+
+    def update(self, outcome) -> None: ...
+
+
+class ThompsonSampler:
+    """Posterior-sampling arm selection.
+
+    Args:
+        posteriors: mapping from arm key to posterior.
+        rng: random source for posterior draws.
+    """
+
+    def __init__(
+        self,
+        posteriors: dict[Hashable, Posterior],
+        rng: np.random.Generator,
+    ) -> None:
+        if not posteriors:
+            raise ValueError("ThompsonSampler needs at least one arm")
+        self.posteriors = dict(posteriors)
+        self.rng = rng
+
+    def select_min(
+        self, eligible: Iterable[Hashable] | None = None
+    ) -> Hashable:
+        """Sample every eligible arm's posterior; return the arg-min arm.
+
+        Args:
+            eligible: arm keys to consider (default: all arms).  TMerge
+                passes ``P_c \\ P_skip`` here once ULB starts pruning.
+        """
+        keys = list(eligible) if eligible is not None else list(self.posteriors)
+        if not keys:
+            raise ValueError("no eligible arms to select from")
+        samples = [self.posteriors[k].sample(self.rng) for k in keys]
+        return keys[int(np.argmin(samples))]
+
+    def select_min_batch(
+        self, count: int, eligible: Iterable[Hashable] | None = None
+    ) -> list[Hashable]:
+        """Select the ``count`` arms with the smallest sampled values.
+
+        This is the batched (-B) selection rule: one posterior draw per arm,
+        take the bottom-``count``.  Returns fewer arms when fewer are
+        eligible.
+        """
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        keys = list(eligible) if eligible is not None else list(self.posteriors)
+        if not keys:
+            return []
+        samples = np.array(
+            [self.posteriors[k].sample(self.rng) for k in keys]
+        )
+        take = min(count, len(keys))
+        order = np.argpartition(samples, take - 1)[:take]
+        # Preserve ascending sampled-value order for deterministic tests.
+        order = order[np.argsort(samples[order])]
+        return [keys[int(i)] for i in order]
+
+    def update(self, key: Hashable, outcome) -> None:
+        """Fold an observation into one arm's posterior."""
+        self.posteriors[key].update(outcome)
+
+    def posterior_means(self) -> dict[Hashable, float]:
+        """Posterior mean per arm (used for the final top-K ranking)."""
+        return {k: p.mean for k, p in self.posteriors.items()}

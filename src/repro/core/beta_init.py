@@ -1,0 +1,43 @@
+"""Algorithm 3 — BetaInit: spatially-informed Beta priors.
+
+Polyonymous fragments are geometrically adjacent: the object vanished at
+one point and reappeared nearby, so the pair's spatial distance ``DisS``
+(last BBox of the earlier track → first BBox of the later track) correlates
+with the true pair score.  BetaInit starts every pair at ``Be(1, 1)`` and
+lowers the prior mean to ``Be(1, 2)`` (mean ⅓) for pairs with
+``DisS < thr_S``, biasing the first Thompson draws toward spatial neighbours.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.pairs import TrackPair
+
+
+def beta_init(
+    pairs: list[TrackPair], thr_s: float | None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Initial Beta shape parameters ``(S, F)`` for every pair.
+
+    Args:
+        pairs: the window's candidate pairs, in arm order.
+        thr_s: the spatial threshold ``thr_S`` in pixels; ``None`` disables
+            BetaInit entirely (uniform ``Be(1, 1)`` priors — the ablation
+            arm of Figure 8).
+
+    Returns:
+        Two float arrays of shape ``(len(pairs),)``: successes ``S`` and
+        failures ``F``.
+    """
+    n = len(pairs)
+    successes = np.ones(n, dtype=np.float64)
+    failures = np.ones(n, dtype=np.float64)
+    if thr_s is None:
+        return successes, failures
+    if thr_s < 0:
+        raise ValueError("thr_s must be non-negative")
+    for index, pair in enumerate(pairs):
+        if pair.spatial_distance < thr_s:
+            failures[index] += 1.0
+    return successes, failures

@@ -1,0 +1,100 @@
+"""ε-greedy sampling — an extension competitor not in the paper.
+
+A natural question the paper leaves open is whether TMerge's Thompson
+sampling is doing anything a trivial explore/exploit split would not.
+ε-greedy answers it: with probability ε pull a uniformly random pair,
+otherwise pull the pair with the lowest running mean.  It shares TMerge's
+feature-reuse cache (the comparison targets the *policy*, not the cache).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.pairs import TrackPair
+from repro.core.results import MergeResult, top_k_count
+from repro.reid import ReidScorer, normalize_distance
+
+
+class EpsilonGreedyMerger:
+    """Explore with probability ε, exploit the current best otherwise.
+
+    Args:
+        epsilon: exploration probability.
+        tau_max: iteration budget.
+        k: the fraction K of pairs to return as candidates.
+        seed: RNG seed for exploration and BBox draws.
+    """
+
+    def __init__(
+        self,
+        epsilon: float = 0.1,
+        tau_max: int = 10_000,
+        k: float = 0.05,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= epsilon <= 1.0:
+            raise ValueError("epsilon must be in [0, 1]")
+        if tau_max < 1:
+            raise ValueError("tau_max must be >= 1")
+        if not 0.0 <= k <= 1.0:
+            raise ValueError("k must be in [0, 1]")
+        self.epsilon = epsilon
+        self.tau_max = tau_max
+        self.k = k
+        self.seed = seed
+
+    @property
+    def name(self) -> str:
+        return f"EpsGreedy({self.epsilon:g})"
+
+    def run(self, pairs: list[TrackPair], scorer: ReidScorer) -> MergeResult:
+        """Run the ε-greedy loop; rank pairs by running mean."""
+        rng = np.random.default_rng(self.seed)
+        start_seconds = scorer.cost.seconds
+        n = len(pairs)
+        sums = np.zeros(n)
+        counts = np.zeros(n, dtype=np.int64)
+        eligible = np.array([p.n_bbox_pairs > 0 for p in pairs])
+        iterations = 0
+
+        for tau in range(1, self.tau_max + 1):
+            live = np.nonzero(eligible)[0]
+            if live.size == 0:
+                break
+            unpulled = live[counts[live] == 0]
+            if unpulled.size > 0:
+                # Initial sweep: every arm gets one pull before greed starts.
+                arm = int(unpulled[0])
+            elif rng.random() < self.epsilon:
+                arm = int(live[int(rng.integers(0, live.size))])
+            else:
+                means = sums[live] / counts[live]
+                arm = int(live[int(np.argmin(means))])
+
+            pair = pairs[arm]
+            ia, ib = pair.sample_bbox_pair(rng)
+            distance = scorer.distance(pair.track_a, ia, pair.track_b, ib)
+            sums[arm] += normalize_distance(distance)
+            counts[arm] += 1
+            scorer.cost.charge_overhead(1)
+            iterations = tau
+            if pair.exhausted:
+                eligible[arm] = False
+
+        scores = {
+            pair.key: (sums[i] / counts[i] if counts[i] else 0.5)
+            for i, pair in enumerate(pairs)
+        }
+        budget = top_k_count(n, self.k)
+        ranked = sorted(pairs, key=lambda p: (scores[p.key], p.key))
+        return MergeResult(
+            method=self.name,
+            candidates=ranked[:budget],
+            scores=scores,
+            n_pairs=n,
+            k=self.k,
+            simulated_seconds=scorer.cost.seconds - start_seconds,
+            iterations=iterations,
+            extra={"epsilon": self.epsilon},
+        )

@@ -1,0 +1,114 @@
+"""Applying identified polyonymous pairs: union-find track merging.
+
+Once the candidate pairs are confirmed (automatically, or after the paper's
+optional human inspection step), every connected component of the "same
+object" relation collapses into a single track carrying one TID.  The
+merged track's observations are the union of its fragments' observations in
+frame order; on the rare frame where two fragments overlap, the observation
+of the longer fragment wins.
+"""
+
+from __future__ import annotations
+
+from repro.core.pairs import PairKey
+from repro.track.base import Track, TrackObservation
+
+
+class UnionFind:
+    """Disjoint-set forest with path compression and union by size."""
+
+    def __init__(self, elements: list[int] | None = None) -> None:
+        self._parent: dict[int, int] = {}
+        self._size: dict[int, int] = {}
+        for element in elements or []:
+            self.add(element)
+
+    def add(self, element: int) -> None:
+        if element not in self._parent:
+            self._parent[element] = element
+            self._size[element] = 1
+
+    def find(self, element: int) -> int:
+        """Representative of ``element``'s component (path-compressed)."""
+        if element not in self._parent:
+            raise KeyError(f"unknown element {element}")
+        root = element
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[element] != root:
+            self._parent[element], element = root, self._parent[element]
+        return root
+
+    def union(self, a: int, b: int) -> int:
+        """Merge the components of ``a`` and ``b``; returns the new root."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        return ra
+
+    def connected(self, a: int, b: int) -> bool:
+        return self.find(a) == self.find(b)
+
+    def components(self) -> dict[int, list[int]]:
+        """Mapping root → sorted members."""
+        groups: dict[int, list[int]] = {}
+        for element in self._parent:
+            groups.setdefault(self.find(element), []).append(element)
+        for members in groups.values():
+            members.sort()
+        return groups
+
+
+def merge_tracks(
+    tracks: list[Track], merge_pairs: list[PairKey]
+) -> tuple[list[Track], dict[int, int]]:
+    """Merge tracks connected by ``merge_pairs``.
+
+    Args:
+        tracks: all tracks of the video (TIDs unique).
+        merge_pairs: ``(tid_a, tid_b)`` pairs confirmed polyonymous.
+
+    Returns:
+        ``(merged_tracks, id_map)`` where ``id_map`` sends every original
+        TID to its merged track's TID (the smallest TID of its component).
+    """
+    by_id = {track.track_id: track for track in tracks}
+    if len(by_id) != len(tracks):
+        raise ValueError("duplicate track ids")
+
+    dsu = UnionFind(list(by_id))
+    for tid_a, tid_b in merge_pairs:
+        if tid_a not in by_id or tid_b not in by_id:
+            raise KeyError(f"merge pair ({tid_a}, {tid_b}) references "
+                           "an unknown track")
+        dsu.union(tid_a, tid_b)
+
+    merged: list[Track] = []
+    id_map: dict[int, int] = {}
+    for root, members in dsu.components().items():
+        new_id = min(members)
+        for member in members:
+            id_map[member] = new_id
+        if len(members) == 1:
+            merged.append(by_id[members[0]])
+            continue
+
+        # Gather observations; prefer the longest fragment on frame clashes.
+        fragments = sorted(
+            (by_id[m] for m in members), key=len, reverse=True
+        )
+        chosen: dict[int, TrackObservation] = {}
+        for fragment in fragments:
+            for obs in fragment.observations:
+                chosen.setdefault(obs.frame, obs)
+        combined = Track(new_id)
+        for frame in sorted(chosen):
+            combined.append(frame, chosen[frame].detection)
+        merged.append(combined)
+
+    merged.sort(key=lambda t: (t.first_frame, t.track_id))
+    return merged, id_map

@@ -1,0 +1,172 @@
+"""End-to-end ingestion: video → detections → tracks → merged tracks.
+
+This is the deployment shape the paper describes (§I): TMerge runs as a
+pre-processing step *after* the tracking algorithm and *before* downstream
+query processing, window by window.  The pipeline wires the substrates
+together and returns everything the evaluation and query layers need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.core.merge import merge_tracks
+from repro.core.pairs import TrackPair, build_track_pairs
+from repro.core.results import MergeResult
+from repro.core.windows import Window, WindowedTracks, partition_windows
+from repro.detect import Detection, NoisyDetector
+from repro.reid import CostModel, CostParams, ReidScorer, SimReIDModel
+from repro.synth.world import VideoGroundTruth
+from repro.track.base import Track, Tracker
+
+
+class Merger(Protocol):
+    """Any §III/§IV algorithm: BL, PS, LCB or TMerge (batched or not)."""
+
+    @property
+    def name(self) -> str: ...
+
+    def run(self, pairs: list[TrackPair], scorer: ReidScorer) -> MergeResult: ...
+
+
+@dataclass
+class IngestionResult:
+    """Everything one pipeline run produced.
+
+    Attributes:
+        world: the simulated ground truth.
+        detections: per-frame detector output.
+        tracks: tracker output, pre-merge.
+        windows: the temporal windows used.
+        window_pairs: the candidate pair set ``P_c`` per window.
+        window_results: the merging algorithm's result per window.
+        merged_tracks: tracks after applying all selected candidates.
+        id_map: original TID → merged TID.
+        cost: the simulated cost model (shared across windows).
+    """
+
+    world: VideoGroundTruth
+    detections: list[list[Detection]]
+    tracks: list[Track]
+    windows: list[Window]
+    window_pairs: list[list[TrackPair]]
+    window_results: list[MergeResult]
+    merged_tracks: list[Track]
+    id_map: dict[int, int]
+    cost: CostModel
+
+    @property
+    def selected_pairs(self) -> list[tuple[int, int]]:
+        """All candidate pair keys across windows."""
+        keys = []
+        for result in self.window_results:
+            keys.extend(result.candidate_keys)
+        return keys
+
+    @property
+    def total_simulated_seconds(self) -> float:
+        """Simulated merging time summed over windows."""
+        return sum(r.simulated_seconds for r in self.window_results)
+
+    @property
+    def fps(self) -> float:
+        """Frames processed per simulated second (the paper's FPS metric)."""
+        seconds = self.total_simulated_seconds
+        if seconds <= 0:
+            return float("inf")
+        return self.world.n_frames / seconds
+
+
+@dataclass
+class IngestionPipeline:
+    """The periodic metadata-extraction job.
+
+    Attributes:
+        tracker: the tracking algorithm producing raw tracks.
+        merger: the polyonymous-pair identification algorithm.
+        window_length: the paper's ``L`` (should be ≥ 2·L_max).
+        detector: the detection front-end.
+        cost_params: simulated cost constants.
+        reid_seed: seed of the ReID extraction noise.
+        detector_seed: seed of the detection noise.
+        merge_score_threshold: when set, *automatic* merging only applies
+            candidates whose estimated normalized score is below this value
+            (confidently-similar pairs); the remaining candidates are still
+            reported for the paper's optional human inspection.  ``None``
+            merges every returned candidate.
+    """
+
+    tracker: Tracker
+    merger: Merger
+    window_length: int = 2000
+    detector: NoisyDetector = field(default_factory=NoisyDetector)
+    cost_params: CostParams = field(default_factory=CostParams)
+    reid_seed: int = 1
+    detector_seed: int = 2
+    merge_score_threshold: float | None = None
+
+    def run(self, world: VideoGroundTruth) -> IngestionResult:
+        """Ingest one video end to end."""
+        detections = self.detector.detect_video(world, seed=self.detector_seed)
+        tracks = self.tracker.run(detections)
+        return self.run_on_tracks(world, detections, tracks)
+
+    def run_on_tracks(
+        self,
+        world: VideoGroundTruth,
+        detections: list[list[Detection]],
+        tracks: list[Track],
+    ) -> IngestionResult:
+        """Ingest starting from precomputed tracks (lets experiments share
+        one tracker run across many merger configurations)."""
+        cost = CostModel(self.cost_params)
+        model = SimReIDModel(world, seed=self.reid_seed)
+        scorer = ReidScorer(model, cost=cost)
+
+        windows = partition_windows(world.n_frames, self.window_length)
+        windowed = WindowedTracks.assign(tracks, windows)
+
+        window_pairs: list[list[TrackPair]] = []
+        window_results: list[MergeResult] = []
+        for c in range(len(windows)):
+            pairs = build_track_pairs(
+                windowed.tracks_of(c), windowed.previous_tracks_of(c)
+            )
+            window_pairs.append(pairs)
+            if pairs:
+                window_results.append(self.merger.run(pairs, scorer))
+            else:
+                window_results.append(
+                    MergeResult(
+                        method=self.merger.name,
+                        candidates=[],
+                        scores={},
+                        n_pairs=0,
+                        k=getattr(self.merger, "k", 0.0),
+                        simulated_seconds=0.0,
+                    )
+                )
+
+        selected = []
+        for result in window_results:
+            for key in result.candidate_keys:
+                if (
+                    self.merge_score_threshold is not None
+                    and result.scores.get(key, 0.0)
+                    >= self.merge_score_threshold
+                ):
+                    continue
+                selected.append(key)
+        merged, id_map = merge_tracks(tracks, selected)
+        return IngestionResult(
+            world=world,
+            detections=detections,
+            tracks=tracks,
+            windows=windows,
+            window_pairs=window_pairs,
+            window_results=window_results,
+            merged_tracks=merged,
+            id_map=id_map,
+            cost=cost,
+        )

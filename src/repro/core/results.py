@@ -1,0 +1,52 @@
+"""The result record shared by all merging algorithms."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.pairs import PairKey, TrackPair
+
+
+@dataclass
+class MergeResult:
+    """Output of one algorithm run on one window's pair set.
+
+    Attributes:
+        method: algorithm name (``"BL"``, ``"PS"``, ``"LCB"``, ``"TMerge"``
+            with a ``-B`` suffix when batched).
+        candidates: the returned top-⌈K·|P_c|⌉ pair candidates
+            (the estimated ``P̂*_{c|K}``), best first.
+        scores: estimated (or exact) normalized score per pair key.
+        n_pairs: ``|P_c]``.
+        k: the K used.
+        simulated_seconds: simulated clock charged by this run.
+        iterations: sampling iterations performed (0 for the baseline).
+        extra: algorithm-specific diagnostics (pruning counts, regret, …).
+    """
+
+    method: str
+    candidates: list[TrackPair]
+    scores: dict[PairKey, float]
+    n_pairs: int
+    k: float
+    simulated_seconds: float
+    iterations: int = 0
+    extra: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.k <= 1.0:
+            raise ValueError("K must be in [0, 1]")
+        if self.simulated_seconds < 0:
+            raise ValueError("simulated_seconds must be non-negative")
+
+    @property
+    def candidate_keys(self) -> set[PairKey]:
+        return {pair.key for pair in self.candidates}
+
+
+def top_k_count(n_pairs: int, k: float) -> int:
+    """⌈K·|P_c|⌉ — the candidate budget (0 when the window has no pairs)."""
+    if n_pairs <= 0:
+        return 0
+    return min(math.ceil(k * n_pairs), n_pairs)

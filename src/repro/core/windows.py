@@ -1,0 +1,123 @@
+"""Windowing (§II): half-overlapping windows and the track sets ``T_c``.
+
+A video (possibly unbounded) is cut into windows of ``L`` frames where
+consecutive windows overlap by ``L/2``.  Window ``c`` *owns* the tracks that
+start within its first ``L/2`` frames; every track is owned by exactly one
+window, and the candidate set ``P_c`` pairs the owned tracks against each
+other and against the previous window's tracks (Eq. 1), so every unordered
+track pair is considered exactly once.  Requiring ``L ≥ 2·L_max`` guarantees
+a fragmented GT track cannot out-span two consecutive windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.track.base import Track
+
+
+@dataclass(frozen=True)
+class Window:
+    """One temporal window ``W_c``.
+
+    Attributes:
+        index: the window index ``c`` (0-based).
+        start: first frame of the window (inclusive).
+        end: last frame of the window (exclusive).
+    """
+
+    index: int
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError("window end must exceed start")
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+    @property
+    def ownership_end(self) -> int:
+        """End (exclusive) of the first-half region that owns new tracks."""
+        return self.start + self.length // 2
+
+    def owns_track(self, track: Track) -> bool:
+        """Whether this window owns ``track`` (its first frame is in the
+        window's first half)."""
+        return self.start <= track.first_frame < self.ownership_end
+
+
+def partition_windows(n_frames: int, window_length: int) -> list[Window]:
+    """Cut ``n_frames`` into half-overlapping windows of ``window_length``.
+
+    Consecutive windows advance by ``window_length // 2``.  The final window
+    may extend past the video end so that every frame belongs to a window's
+    first half exactly once (ownership partitioning stays exact).
+
+    Args:
+        n_frames: total video length.
+        window_length: the paper's ``L`` (must be ≥ 2 so halves are
+            non-empty).
+    """
+    if n_frames < 1:
+        raise ValueError("n_frames must be >= 1")
+    if window_length < 2:
+        raise ValueError("window_length must be >= 2")
+    stride = window_length // 2
+    windows = []
+    start = 0
+    index = 0
+    while start < n_frames:
+        windows.append(Window(index, start, start + window_length))
+        start += stride
+        index += 1
+    return windows
+
+
+@dataclass
+class WindowedTracks:
+    """Tracks assigned to their owning windows.
+
+    Attributes:
+        windows: the window list.
+        assignments: ``assignments[c]`` is ``T_c`` — tracks owned by
+            window ``c``, ordered by first frame.
+    """
+
+    windows: list[Window]
+    assignments: list[list[Track]] = field(default_factory=list)
+
+    @classmethod
+    def assign(
+        cls, tracks: list[Track], windows: list[Window]
+    ) -> "WindowedTracks":
+        """Assign each track to the unique window owning it."""
+        assignments: list[list[Track]] = [[] for _ in windows]
+        stride = windows[0].length // 2 if windows else 1
+        for track in tracks:
+            if not track.observations:
+                continue
+            c = track.first_frame // stride
+            if c >= len(windows):
+                c = len(windows) - 1
+            if not windows[c].owns_track(track):
+                raise AssertionError(
+                    f"track {track.track_id} (first frame "
+                    f"{track.first_frame}) not owned by computed window {c}"
+                )
+            assignments[c].append(track)
+        for bucket in assignments:
+            bucket.sort(key=lambda t: (t.first_frame, t.track_id))
+        return cls(windows=windows, assignments=assignments)
+
+    def tracks_of(self, window_index: int) -> list[Track]:
+        """``T_c`` for window ``window_index``."""
+        return self.assignments[window_index]
+
+    def previous_tracks_of(self, window_index: int) -> list[Track]:
+        """``T_{c-1}``, or an empty list for the first window."""
+        if window_index == 0:
+            return []
+        return self.assignments[window_index - 1]

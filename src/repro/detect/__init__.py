@@ -1,0 +1,11 @@
+"""Object detection simulation.
+
+Downstream of the GT world and upstream of the trackers: given the per-frame
+ground truth, :class:`NoisyDetector` emits :class:`Detection` lists with the
+imperfections that fragment tracks in real systems — visibility-dependent
+misses, localization jitter and clutter (false positives).
+"""
+
+from repro.detect.detector import Detection, DetectorConfig, NoisyDetector
+
+__all__ = ["Detection", "DetectorConfig", "NoisyDetector"]

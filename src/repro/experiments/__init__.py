@@ -1,0 +1,25 @@
+"""Experiment harness shared by the benchmark suite.
+
+* :mod:`repro.experiments.prep` — build *prepared videos* (world →
+  detections → tracks → windows → pair sets → GT polyonymous labels) once
+  and share them across algorithm sweeps.
+* :mod:`repro.experiments.sweeps` — run a merging algorithm over prepared
+  data and measure (REC, simulated seconds, FPS).
+* :mod:`repro.experiments.figures` — one function per paper table/figure,
+  returning structured rows; the benchmark files print them.
+* :mod:`repro.experiments.reporting` — plain-text table formatting.
+"""
+
+from repro.experiments.prep import PreparedVideo, prepare_video, prepare_dataset
+from repro.experiments.sweeps import MethodPoint, evaluate_merger, rec_fps_sweep
+from repro.experiments.reporting import format_table
+
+__all__ = [
+    "PreparedVideo",
+    "prepare_video",
+    "prepare_dataset",
+    "MethodPoint",
+    "evaluate_merger",
+    "rec_fps_sweep",
+    "format_table",
+]

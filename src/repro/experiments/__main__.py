@@ -1,0 +1,203 @@
+"""Command-line driver: regenerate any paper figure from the terminal.
+
+Usage::
+
+    python -m repro.experiments fig3              # REC-K curves
+    python -m repro.experiments fig11 --videos 3  # polyonymous rates
+    python -m repro.experiments list              # show available figures
+
+Each figure runs at the same laptop scale as the benchmark suite and
+prints the reproduced rows.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import figures
+from repro.experiments.ascii_plot import rec_fps_plot
+from repro.experiments.prep import prepare_dataset
+from repro.experiments.reporting import format_table
+
+_SCALES = {
+    "mot17": dict(n_frames=700),
+    "kitti": dict(n_frames=600),
+    "pathtrack": dict(n_frames=1400),
+}
+
+
+def _datasets(n_videos: int):
+    return {
+        name: prepare_dataset(name, n_videos, seed=0, **scale)
+        for name, scale in _SCALES.items()
+    }
+
+
+def _mot17(n_videos: int):
+    return prepare_dataset(n_videos=n_videos, preset="mot17", seed=0,
+                           n_frames=700)
+
+
+def run_fig3(args) -> str:
+    curves = figures.fig3_rec_k(_datasets(args.videos))
+    rows = [
+        [dataset, k, rec]
+        for dataset, points in curves.items()
+        for k, rec in points
+    ]
+    return format_table(["dataset", "K", "REC"], rows, "Figure 3 — REC-K")
+
+
+def run_fig4(args) -> str:
+    rows = figures.fig4_runtime_scaling()
+    return format_table(
+        ["frames", "pairs", "BL seconds"],
+        [list(r) for r in rows],
+        "Figure 4 — BL scaling",
+    )
+
+
+def run_fig5(args) -> str:
+    results = figures.fig5_rec_fps(_datasets(args.videos))
+    rows = [
+        [dataset, method, p.parameter, p.rec, p.fps]
+        for dataset, methods in results.items()
+        for method, points in methods.items()
+        for p in points
+    ]
+    table = format_table(
+        ["dataset", "method", "param", "REC", "FPS"], rows,
+        "Figure 5 — REC-FPS",
+    )
+    plots = "\n\n".join(
+        rec_fps_plot(methods, title=f"Figure 5 — {dataset}")
+        for dataset, methods in results.items()
+    )
+    return f"{table}\n\n{plots}"
+
+
+def run_fig6(args) -> str:
+    results = figures.fig6_batched(_mot17(args.videos))
+    rows = [
+        [method, p.parameter, p.rec, p.fps]
+        for method, points in results.items()
+        for p in points
+    ]
+    table = format_table(
+        ["method", "param", "REC", "FPS"], rows, "Figure 6 — batched"
+    )
+    plot = rec_fps_plot(results, title="Figure 6 — batched (MOT-17-like)")
+    return f"{table}\n\n{plot}"
+
+
+def run_fig7(args) -> str:
+    rows = figures.fig7_tau_sweep(_mot17(args.videos))
+    return format_table(
+        ["tau_max", "seconds", "REC"],
+        [list(r) for r in rows],
+        "Figure 7 — TMerge-B vs tau_max",
+    )
+
+
+def run_fig8(args) -> str:
+    results = figures.fig8_ablation(_mot17(args.videos))
+    rows = [
+        [variant, p.parameter, p.rec, p.fps]
+        for variant, points in results.items()
+        for p in points
+    ]
+    return format_table(
+        ["variant", "tau_max", "REC", "FPS"], rows, "Figure 8 — ablation"
+    )
+
+
+def run_fig9(args) -> str:
+    rows = figures.fig9_window_length(n_videos=args.videos, n_frames=1600)
+    return format_table(
+        ["L", "REC (BL)", "REC (TMerge)"],
+        [list(r) for r in rows],
+        "Figure 9 — window length",
+    )
+
+
+def run_fig10(args) -> str:
+    results = figures.fig10_thr_s(_mot17(args.videos))
+    rows = [
+        [label, p.parameter, p.rec, p.fps]
+        for label, points in results.items()
+        for p in points
+    ]
+    return format_table(
+        ["thr_S", "tau_max", "REC", "FPS"], rows, "Figure 10 — thr_S"
+    )
+
+
+def run_fig11(args) -> str:
+    rows = figures.fig11_polyonymous_rate(n_videos=args.videos)
+    return format_table(
+        ["tracker", "rate w/o", "rate w/"],
+        [list(r) for r in rows],
+        "Figure 11 — polyonymous rates",
+    )
+
+
+def run_fig12(args) -> str:
+    rows = figures.fig12_identity_metrics(n_videos=args.videos)
+    return format_table(
+        ["metric", "w/o TMerge", "w/ TMerge"],
+        [list(r) for r in rows],
+        "Figure 12 — identity metrics",
+    )
+
+
+def run_fig13(args) -> str:
+    rows = figures.fig13_query_recall(n_videos=args.videos)
+    return format_table(
+        ["query", "w/o TMerge", "w/ TMerge"],
+        [list(r) for r in rows],
+        "Figure 13 — query recall",
+    )
+
+
+_RUNNERS = {
+    "fig3": run_fig3,
+    "fig4": run_fig4,
+    "fig5": run_fig5,
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "fig9": run_fig9,
+    "fig10": run_fig10,
+    "fig11": run_fig11,
+    "fig12": run_fig12,
+    "fig13": run_fig13,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate a paper figure at laptop scale.",
+    )
+    parser.add_argument(
+        "figure",
+        choices=sorted(_RUNNERS) + ["list"],
+        help="which figure to regenerate",
+    )
+    parser.add_argument(
+        "--videos",
+        type=int,
+        default=2,
+        help="videos per dataset (default 2)",
+    )
+    args = parser.parse_args(argv)
+    if args.figure == "list":
+        print("available:", ", ".join(sorted(_RUNNERS)))
+        return 0
+    print(_RUNNERS[args.figure](args))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

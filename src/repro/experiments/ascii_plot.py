@@ -1,0 +1,116 @@
+"""Terminal scatter/line plots for REC-FPS curves (no plotting deps).
+
+The library runs in offline environments without matplotlib, so the
+experiment harness renders its curves as ASCII: one glyph per method,
+log-scaled x where appropriate.  Used by the CLI and handy in notebooks'
+text mode.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.sweeps import MethodPoint
+
+_GLYPHS = "oxv*#@+%"
+
+
+def ascii_plot(
+    series: dict[str, list[tuple[float, float]]],
+    width: int = 64,
+    height: int = 18,
+    x_label: str = "x",
+    y_label: str = "y",
+    log_x: bool = False,
+    title: str | None = None,
+) -> str:
+    """Render named (x, y) series on a character grid.
+
+    Args:
+        series: mapping from series name to its points.
+        width: plot area width in characters.
+        height: plot area height in characters.
+        x_label: x-axis caption.
+        y_label: y-axis caption.
+        log_x: log-scale the x axis (for FPS spans of several decades).
+        title: optional heading line.
+
+    Returns:
+        The rendered multi-line string (includes a legend).
+    """
+    if width < 8 or height < 4:
+        raise ValueError("plot area too small")
+    points = [
+        (x, y) for pts in series.values() for x, y in pts
+    ]
+    if not points:
+        raise ValueError("nothing to plot")
+    if log_x and any(x <= 0 for x, _ in points):
+        raise ValueError("log_x requires positive x values")
+
+    def tx(x: float) -> float:
+        return math.log10(x) if log_x else x
+
+    xs = [tx(x) for x, _ in points]
+    ys = [y for _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, pts) in enumerate(series.items()):
+        glyph = _GLYPHS[index % len(_GLYPHS)]
+        for x, y in pts:
+            col = round((tx(x) - x_lo) / x_span * (width - 1))
+            row = round((y - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_hi:.3g}"
+    bottom_label = f"{y_lo:.3g}"
+    margin = max(len(top_label), len(bottom_label), len(y_label)) + 1
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label.rjust(margin)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(margin)
+        elif row_index == height // 2:
+            prefix = y_label.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix}|{''.join(row)}")
+    lines.append(" " * margin + "+" + "-" * width)
+    x_lo_text = f"{10**x_lo:.3g}" if log_x else f"{x_lo:.3g}"
+    x_hi_text = f"{10**x_hi:.3g}" if log_x else f"{x_hi:.3g}"
+    axis = f"{x_lo_text}  {x_label}  {x_hi_text}"
+    if log_x:
+        axis += "  (log)"
+    lines.append(" " * (margin + 1) + axis)
+    legend = "   ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]} {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(" " * (margin + 1) + legend)
+    return "\n".join(lines)
+
+
+def rec_fps_plot(
+    curves: dict[str, list[MethodPoint]],
+    title: str | None = None,
+) -> str:
+    """Render method REC-FPS curves (FPS on a log x-axis, REC on y)."""
+    series = {
+        name: [(p.fps, p.rec) for p in points if p.fps > 0]
+        for name, points in curves.items()
+    }
+    series = {name: pts for name, pts in series.items() if pts}
+    return ascii_plot(
+        series,
+        x_label="FPS",
+        y_label="REC",
+        log_x=True,
+        title=title,
+    )

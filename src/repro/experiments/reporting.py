@@ -1,0 +1,39 @@
+"""Plain-text table rendering for the benchmark harness."""
+
+from __future__ import annotations
+
+
+def format_table(
+    headers: list[str],
+    rows: list[list[object]],
+    title: str | None = None,
+) -> str:
+    """Render a fixed-width table.
+
+    Floats are shown with three decimals; ``None`` renders as ``-``.
+    """
+    def cell(value: object) -> str:
+        if value is None:
+            return "-"
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    rendered = [[cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered))
+        if rendered
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+
+    def line(cells: list[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append("-+-".join("-" * w for w in widths))
+    parts.extend(line(r) for r in rendered)
+    return "\n".join(parts)

@@ -1,0 +1,165 @@
+"""MOTChallenge CSV interchange.
+
+The MOTChallenge line format is::
+
+    frame, id, bb_left, bb_top, bb_width, bb_height, conf, x, y, z
+
+with 1-based frames, ``id = -1`` for raw detections, and ``-1`` for the
+unused 3-D fields.  We preserve the convention exactly so files round-trip
+against standard tooling; internally frames are 0-based, so readers and
+writers shift by one.
+
+Simulation-only attributes (GT source id, visibility) obviously do not
+exist in external files; reading produces detections with
+``source_id=None`` and full visibility, which is precisely the information
+a real deployment would have.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.detect import Detection
+from repro.geometry import BBox
+from repro.synth.world import VideoGroundTruth
+from repro.track.base import Track
+
+
+def write_tracks_mot(tracks: list[Track], path: str | Path) -> None:
+    """Write tracker output as a MOTChallenge result file."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        rows = []
+        for track in tracks:
+            for obs in track.observations:
+                x, y, w, h = obs.bbox.to_tlwh()
+                rows.append(
+                    (
+                        obs.frame + 1,
+                        track.track_id,
+                        f"{x:.2f}",
+                        f"{y:.2f}",
+                        f"{w:.2f}",
+                        f"{h:.2f}",
+                        f"{obs.detection.confidence:.4f}",
+                        -1,
+                        -1,
+                        -1,
+                    )
+                )
+        rows.sort(key=lambda r: (r[0], r[1]))
+        writer.writerows(rows)
+
+
+def read_tracks_mot(path: str | Path) -> list[Track]:
+    """Read a MOTChallenge result file into tracks.
+
+    Returns:
+        Tracks ordered by TID; observation frames 0-based.
+    """
+    by_id: dict[int, list[tuple[int, Detection]]] = {}
+    with Path(path).open(newline="") as handle:
+        for row in csv.reader(handle):
+            if not row or row[0].startswith("#"):
+                continue
+            frame = int(float(row[0])) - 1
+            track_id = int(float(row[1]))
+            x, y, w, h = (float(v) for v in row[2:6])
+            confidence = float(row[6]) if len(row) > 6 else 1.0
+            detection = Detection(
+                BBox.from_tlwh(x, y, w, h),
+                confidence=max(min(confidence, 1.0), 0.0),
+                source_id=None,
+                visibility=1.0,
+            )
+            by_id.setdefault(track_id, []).append((frame, detection))
+
+    tracks = []
+    for track_id in sorted(by_id):
+        observations = sorted(by_id[track_id], key=lambda fd: fd[0])
+        track = Track(track_id)
+        last_frame = None
+        for frame, detection in observations:
+            if frame == last_frame:
+                continue  # tolerate duplicate lines
+            track.append(frame, detection)
+            last_frame = frame
+        tracks.append(track)
+    return tracks
+
+
+def write_detections_mot(
+    detections: list[list[Detection]], path: str | Path
+) -> None:
+    """Write per-frame detections as a MOTChallenge detection file."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        for frame, frame_detections in enumerate(detections):
+            for det in frame_detections:
+                x, y, w, h = det.bbox.to_tlwh()
+                writer.writerow(
+                    (
+                        frame + 1,
+                        -1,
+                        f"{x:.2f}",
+                        f"{y:.2f}",
+                        f"{w:.2f}",
+                        f"{h:.2f}",
+                        f"{det.confidence:.4f}",
+                        -1,
+                        -1,
+                        -1,
+                    )
+                )
+
+
+def read_detections_mot(path: str | Path) -> list[list[Detection]]:
+    """Read a MOTChallenge detection file into per-frame lists."""
+    frames: dict[int, list[Detection]] = {}
+    max_frame = -1
+    with Path(path).open(newline="") as handle:
+        for row in csv.reader(handle):
+            if not row or row[0].startswith("#"):
+                continue
+            frame = int(float(row[0])) - 1
+            x, y, w, h = (float(v) for v in row[2:6])
+            confidence = float(row[6]) if len(row) > 6 else 1.0
+            frames.setdefault(frame, []).append(
+                Detection(
+                    BBox.from_tlwh(x, y, w, h),
+                    confidence=max(min(confidence, 1.0), 0.0),
+                    source_id=None,
+                    visibility=1.0,
+                )
+            )
+            max_frame = max(max_frame, frame)
+    return [frames.get(f, []) for f in range(max_frame + 1)]
+
+
+def world_to_mot_gt(world: VideoGroundTruth, path: str | Path) -> None:
+    """Export a simulated world's ground truth as a MOTChallenge gt file.
+
+    Format: ``frame, id, x, y, w, h, active(1), class(1), visibility``.
+    """
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        for frame, states in enumerate(world.frames):
+            for state in states:
+                x, y, w, h = state.bbox.to_tlwh()
+                writer.writerow(
+                    (
+                        frame + 1,
+                        state.object_id,
+                        f"{x:.2f}",
+                        f"{y:.2f}",
+                        f"{w:.2f}",
+                        f"{h:.2f}",
+                        1,
+                        1,
+                        f"{state.visibility:.3f}",
+                    )
+                )

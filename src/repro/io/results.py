@@ -1,0 +1,63 @@
+"""JSON round-tripping for merge results and experiment points.
+
+A deployment periodically invoking TMerge wants to persist what was found
+(for audit, for the human-inspection queue, for incremental re-merging);
+experiment sweeps want their points saved so plots can be regenerated
+without recomputation.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.results import MergeResult
+from repro.experiments.sweeps import MethodPoint
+
+
+def merge_result_to_dict(result: MergeResult) -> dict:
+    """A JSON-safe summary of one merge run."""
+    return {
+        "method": result.method,
+        "n_pairs": result.n_pairs,
+        "k": result.k,
+        "iterations": result.iterations,
+        "simulated_seconds": result.simulated_seconds,
+        "candidates": [list(pair.key) for pair in result.candidates],
+        "scores": {
+            f"{a},{b}": score for (a, b), score in result.scores.items()
+        },
+        "extra": dict(result.extra),
+    }
+
+
+def save_points_json(
+    points: list[MethodPoint], path: str | Path
+) -> None:
+    """Persist sweep points (one REC-FPS curve) as JSON."""
+    payload = [
+        {
+            "method": p.method,
+            "rec": p.rec,
+            "fps": p.fps,
+            "simulated_seconds": p.simulated_seconds,
+            "parameter": p.parameter,
+        }
+        for p in points
+    ]
+    Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def load_points_json(path: str | Path) -> list[MethodPoint]:
+    """Load sweep points saved by :func:`save_points_json`."""
+    payload = json.loads(Path(path).read_text())
+    return [
+        MethodPoint(
+            method=entry["method"],
+            rec=entry["rec"],
+            fps=entry["fps"],
+            simulated_seconds=entry["simulated_seconds"],
+            parameter=entry.get("parameter"),
+        )
+        for entry in payload
+    ]

@@ -1,0 +1,139 @@
+"""CLEAR-MOT metrics (Bernardin & Stiefelhagen, 2008).
+
+Per-frame matching with the CLEAR continuity rule: a GT object matched to a
+track in the previous frame keeps that match while their IoU stays above
+the threshold; remaining objects and tracks are matched by Hungarian
+assignment.  From the match stream we count misses (FN), false positives
+(FP), identity switches (IDSW) and fragmentations (Frag), and compute
+``MOTA = 1 − (FN + FP + IDSW) / #GT``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry import iou, iou_matrix
+from repro.synth.world import VideoGroundTruth
+from repro.track.assignment import solve_assignment
+from repro.track.base import Track
+
+
+@dataclass(frozen=True)
+class ClearMotResult:
+    """CLEAR-MOT counts and derived scores.
+
+    Attributes:
+        n_gt: total GT object-frames.
+        misses: false negatives.
+        false_positives: track boxes matching no GT.
+        id_switches: frames where a GT object changed its matched TID.
+        fragmentations: interruptions of a GT object's tracked status.
+    """
+
+    n_gt: int
+    misses: int
+    false_positives: int
+    id_switches: int
+    fragmentations: int
+
+    @property
+    def mota(self) -> float:
+        """Multiple Object Tracking Accuracy (can be negative)."""
+        if self.n_gt == 0:
+            return 1.0
+        return 1.0 - (
+            self.misses + self.false_positives + self.id_switches
+        ) / self.n_gt
+
+
+def evaluate_clearmot(
+    tracks: list[Track],
+    world: VideoGroundTruth,
+    iou_threshold: float = 0.5,
+) -> ClearMotResult:
+    """Run the CLEAR-MOT protocol over a full video."""
+    per_frame: dict[int, list[tuple[int, int]]] = {}
+    by_id = {track.track_id: track for track in tracks}
+    for track in tracks:
+        for obs_index, obs in enumerate(track.observations):
+            per_frame.setdefault(obs.frame, []).append(
+                (track.track_id, obs_index)
+            )
+
+    n_gt = 0
+    misses = 0
+    false_positives = 0
+    id_switches = 0
+    fragmentations = 0
+
+    # last_match[gt_id] = TID it was last matched to (for IDSW);
+    # tracked_now[gt_id] = whether it was matched in the previous frame it
+    # appeared (for Frag).
+    last_match: dict[int, int] = {}
+    was_tracked: dict[int, bool] = {}
+
+    for frame in range(world.n_frames):
+        gt_states = world.frames[frame]
+        entries = per_frame.get(frame, [])
+        n_gt += len(gt_states)
+
+        gt_boxes = [state.bbox for state in gt_states]
+        track_boxes = [
+            by_id[tid].observations[oi].bbox for tid, oi in entries
+        ]
+
+        matched_gt: dict[int, int] = {}  # gt index -> track entry index
+        used_tracks: set[int] = set()
+
+        # Continuity: keep last frame's pairing while IoU holds.
+        for g, state in enumerate(gt_states):
+            prev_tid = last_match.get(state.object_id)
+            if prev_tid is None:
+                continue
+            for e, (tid, _) in enumerate(entries):
+                if tid != prev_tid or e in used_tracks:
+                    continue
+                if iou(gt_boxes[g], track_boxes[e]) >= iou_threshold:
+                    matched_gt[g] = e
+                    used_tracks.add(e)
+                break
+
+        # Hungarian on the remainder.
+        free_gt = [g for g in range(len(gt_states)) if g not in matched_gt]
+        free_tracks = [
+            e for e in range(len(entries)) if e not in used_tracks
+        ]
+        if free_gt and free_tracks:
+            ious = iou_matrix(
+                [gt_boxes[g] for g in free_gt],
+                [track_boxes[e] for e in free_tracks],
+            )
+            for r, c in solve_assignment(
+                1.0 - ious, max_cost=1.0 - iou_threshold
+            ):
+                matched_gt[free_gt[r]] = free_tracks[c]
+                used_tracks.add(free_tracks[c])
+
+        # Update counts.
+        for g, state in enumerate(gt_states):
+            gt_id = state.object_id
+            if g in matched_gt:
+                tid = entries[matched_gt[g]][0]
+                if gt_id in last_match and last_match[gt_id] != tid:
+                    id_switches += 1
+                if gt_id in was_tracked and not was_tracked[gt_id]:
+                    fragmentations += 1
+                last_match[gt_id] = tid
+                was_tracked[gt_id] = True
+            else:
+                misses += 1
+                was_tracked[gt_id] = False
+        false_positives += len(entries) - len(used_tracks)
+
+    return ClearMotResult(
+        n_gt=n_gt,
+        misses=misses,
+        false_positives=false_positives,
+        id_switches=id_switches,
+        fragmentations=fragmentations,
+    )

@@ -1,0 +1,72 @@
+"""The REC metric (Eq. 3) and REC-K curves (Figure 3)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.pairs import PairKey, TrackPair
+
+
+def window_recall(
+    candidate_keys: set[PairKey], gt_keys: set[PairKey]
+) -> float | None:
+    """``REC(P̂_c) = |P̂_c ∩ P*_c| / |P*_c|`` for one window.
+
+    Returns ``None`` when the window has no polyonymous pairs (such windows
+    are excluded from dataset averages, matching the paper's averaging over
+    windows that have something to find).
+    """
+    if not gt_keys:
+        return None
+    return len(candidate_keys & gt_keys) / len(gt_keys)
+
+
+def average_recall(
+    per_window: list[tuple[set[PairKey], set[PairKey]]]
+) -> float:
+    """Mean recall over all windows with non-empty ``P*_c``.
+
+    Args:
+        per_window: ``(candidate_keys, gt_keys)`` per window.
+
+    Returns:
+        The dataset-level REC; 1.0 when no window has any polyonymous pair
+        (nothing to miss).
+    """
+    values = [
+        rec
+        for candidates, gt in per_window
+        if (rec := window_recall(candidates, gt)) is not None
+    ]
+    if not values:
+        return 1.0
+    return sum(values) / len(values)
+
+
+def rec_k_curve(
+    pairs: list[TrackPair],
+    scores: dict[PairKey, float],
+    gt_keys: set[PairKey],
+    ks: list[float],
+) -> list[tuple[float, float | None]]:
+    """Recall of the top-⌈K·|P_c|⌉ scored pairs, for each K.
+
+    Args:
+        pairs: the window's candidate pairs.
+        scores: normalized score per pair key (lower = more likely
+            polyonymous).
+        gt_keys: the window's true polyonymous pair keys.
+        ks: the K values to evaluate.
+
+    Returns:
+        ``(K, REC)`` points; REC is ``None`` when ``gt_keys`` is empty.
+    """
+    ranked = sorted(pairs, key=lambda p: (scores[p.key], p.key))
+    points = []
+    for k in ks:
+        if not 0.0 <= k <= 1.0:
+            raise ValueError(f"K out of range: {k}")
+        budget = min(math.ceil(k * len(pairs)), len(pairs))
+        top = {pair.key for pair in ranked[:budget]}
+        points.append((k, window_recall(top, gt_keys)))
+    return points

@@ -1,0 +1,39 @@
+"""Declarative video queries over track metadata (§V-H).
+
+The downstream consumer TMerge exists to serve: a small query engine in the
+style of [13], operating purely on tracking metadata.  Two query types from
+the paper are provided:
+
+* :class:`CountQuery` — objects visible for at least N frames.
+* :class:`CoOccurrenceQuery` — clips of ≥ N consecutive frames where the
+  same ``group_size`` objects appear jointly.
+
+:mod:`repro.query.evaluation` computes the recall of query answers against
+the ground truth, with and without track merging — reproducing Figure 13.
+"""
+
+from repro.query.store import TrackStore
+from repro.query.queries import (
+    CountQuery,
+    CountResult,
+    CoOccurrenceQuery,
+    CoOccurrenceResult,
+)
+from repro.query.engine import QueryEngine
+from repro.query.evaluation import (
+    count_query_recall,
+    cooccurrence_query_recall,
+    gt_presence,
+)
+
+__all__ = [
+    "TrackStore",
+    "CountQuery",
+    "CountResult",
+    "CoOccurrenceQuery",
+    "CoOccurrenceResult",
+    "QueryEngine",
+    "count_query_recall",
+    "cooccurrence_query_recall",
+    "gt_presence",
+]

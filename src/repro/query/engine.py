@@ -1,0 +1,41 @@
+"""A thin query-execution facade.
+
+Real systems ([13]) expose a declarative surface; here the engine simply
+binds a :class:`~repro.query.store.TrackStore` and dispatches query objects
+to their ``evaluate`` method, so examples and benches read naturally:
+
+    engine = QueryEngine.from_tracks(merged_tracks)
+    answer = engine.run(CountQuery(min_frames=200))
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.query.store import TrackStore
+from repro.track.base import Track
+
+
+class Query(Protocol):
+    """Any evaluable query object."""
+
+    def evaluate(self, store: TrackStore): ...
+
+
+class QueryEngine:
+    """Executes queries against a bound metadata store."""
+
+    def __init__(self, store: TrackStore) -> None:
+        self.store = store
+
+    @classmethod
+    def from_tracks(cls, tracks: list[Track]) -> "QueryEngine":
+        return cls(TrackStore.from_tracks(tracks))
+
+    @classmethod
+    def from_presence(cls, presence: dict[int, list[int]]) -> "QueryEngine":
+        return cls(TrackStore.from_presence(presence))
+
+    def run(self, query: Query):
+        """Evaluate ``query`` against the bound store."""
+        return query.evaluate(self.store)

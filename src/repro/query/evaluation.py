@@ -1,0 +1,95 @@
+"""Query recall against ground truth (Figure 13).
+
+The reference answer of each query is computed on the ground-truth
+presence data; the system answer on (merged or unmerged) tracker output.
+A system answer item counts as recovered when it maps — via the track → GT
+identity assignment — onto a reference item.  Recall is the recovered
+fraction of the reference answer.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.metrics.matching import TrackGtAssignment
+from repro.query.queries import CoOccurrenceQuery, CountQuery
+from repro.query.store import TrackStore
+from repro.synth.world import VideoGroundTruth
+from repro.track.base import Track
+
+
+def gt_presence(
+    world: VideoGroundTruth, fill_gaps: bool = True
+) -> dict[int, list[int]]:
+    """Ground-truth presence: GT object id → frames it is in the scene.
+
+    Args:
+        world: the ground truth.
+        fill_gaps: treat an object as present on every frame between its
+            first and last visible frame (default) — an occluded object is
+            still in the scene, mirroring the filled-interval semantics of
+            :meth:`repro.query.store.TrackStore.from_tracks`.
+    """
+    presence: dict[int, list[int]] = {}
+    for frame, states in enumerate(world.frames):
+        for state in states:
+            presence.setdefault(state.object_id, []).append(frame)
+    if fill_gaps:
+        presence = {
+            oid: list(range(frames[0], frames[-1] + 1))
+            for oid, frames in presence.items()
+        }
+    return presence
+
+
+def count_query_recall(
+    tracks: list[Track],
+    world: VideoGroundTruth,
+    assignment: TrackGtAssignment,
+    query: CountQuery,
+) -> float:
+    """Recall of a Count query: fraction of qualifying GT objects that some
+    qualifying track identifies.
+
+    Fragmentation hurts here directly: a 400-frame GT object split into two
+    200-frame fragments fails a ``min_frames=250`` threshold twice.
+    """
+    gt_store = TrackStore.from_presence(gt_presence(world))
+    reference = query.evaluate(gt_store).qualifying
+    if not reference:
+        return 1.0
+
+    system_store = TrackStore.from_tracks(tracks)
+    system = query.evaluate(system_store).qualifying
+    recovered_gt = {
+        gt
+        for tid in system
+        if (gt := assignment.gt_of(tid)) is not None
+    }
+    return len(reference & recovered_gt) / len(reference)
+
+
+def cooccurrence_query_recall(
+    tracks: list[Track],
+    world: VideoGroundTruth,
+    assignment: TrackGtAssignment,
+    query: CoOccurrenceQuery,
+) -> float:
+    """Recall of a Co-occurrence query: fraction of qualifying GT groups
+    matched by some system group mapping onto the same GT identities."""
+    gt_store = TrackStore.from_presence(gt_presence(world))
+    reference = query.evaluate(gt_store).groups
+    if not reference:
+        return 1.0
+
+    system_store = TrackStore.from_tracks(tracks)
+    system = query.evaluate(system_store).groups
+    mapped_groups: set[tuple[int, ...]] = set()
+    for group in system:
+        gt_ids = [assignment.gt_of(tid) for tid in group]
+        if any(g is None for g in gt_ids):
+            continue
+        if len(set(gt_ids)) != len(gt_ids):
+            continue
+        mapped_groups.add(tuple(sorted(gt_ids)))
+    return len(reference & mapped_groups) / len(reference)

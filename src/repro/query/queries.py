@@ -1,0 +1,140 @@
+"""The two query types evaluated in the paper (§V-H)."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.query.store import TrackStore, longest_common_run
+
+
+@dataclass(frozen=True)
+class CountResult:
+    """Answer of a :class:`CountQuery`.
+
+    Attributes:
+        qualifying: object ids visible for at least the threshold.
+    """
+
+    qualifying: frozenset[int]
+
+    @property
+    def count(self) -> int:
+        return len(self.qualifying)
+
+
+@dataclass(frozen=True)
+class CountQuery:
+    """"Count the objects visible across more than N frames" (§V-H).
+
+    Attributes:
+        min_frames: the N threshold (the paper's example uses 200).
+        use_span: when True (default) an object qualifies by its first-to-
+            last frame span (what "remains visible in the scene" means for a
+            human); when False, by its raw appearance count.
+    """
+
+    min_frames: int = 200
+    use_span: bool = True
+
+    def __post_init__(self) -> None:
+        if self.min_frames < 1:
+            raise ValueError("min_frames must be >= 1")
+
+    def evaluate(self, store: TrackStore) -> CountResult:
+        qualifying = []
+        for object_id in store.object_ids():
+            measure = (
+                store.span_of(object_id)
+                if self.use_span
+                else store.appearance_count(object_id)
+            )
+            if measure >= self.min_frames:
+                qualifying.append(object_id)
+        return CountResult(frozenset(qualifying))
+
+
+@dataclass(frozen=True)
+class CoOccurrenceResult:
+    """Answer of a :class:`CoOccurrenceQuery`.
+
+    Attributes:
+        groups: qualifying object-id groups (each a sorted tuple).
+    """
+
+    groups: frozenset[tuple[int, ...]]
+
+    @property
+    def count(self) -> int:
+        return len(self.groups)
+
+
+@dataclass(frozen=True)
+class CoOccurrenceQuery:
+    """"Clips ≥ N frames where the same ``group_size`` objects co-occur."
+
+    Attributes:
+        group_size: number of objects appearing jointly (paper: 3).
+        min_frames: minimum clip length (paper: 50).
+        max_gap: per-object absence tolerated inside a clip, in frames
+            (absorbs detection misses and short occlusions; clip semantics
+            follow [13], where joint presence is evaluated at clip level
+            rather than per frame).
+    """
+
+    group_size: int = 3
+    min_frames: int = 50
+    max_gap: int = 10
+
+    def __post_init__(self) -> None:
+        if self.group_size < 2:
+            raise ValueError("group_size must be >= 2")
+        if self.min_frames < 1:
+            raise ValueError("min_frames must be >= 1")
+        if self.max_gap < 0:
+            raise ValueError("max_gap must be non-negative")
+
+    def evaluate(self, store: TrackStore) -> CoOccurrenceResult:
+        # Only objects visible long enough can participate.
+        candidates = [
+            oid
+            for oid in store.object_ids()
+            if store.span_of(oid) >= self.min_frames
+        ]
+        # Prune by pairwise temporal overlap before enumerating groups.
+        spans = {
+            oid: (store.frames_of(oid)[0], store.frames_of(oid)[-1])
+            for oid in candidates
+        }
+
+        def spans_overlap(a: int, b: int) -> bool:
+            (s1, e1), (s2, e2) = spans[a], spans[b]
+            return min(e1, e2) - max(s1, s2) + 1 >= self.min_frames
+
+        neighbors: dict[int, set[int]] = {oid: set() for oid in candidates}
+        for a, b in itertools.combinations(candidates, 2):
+            if spans_overlap(a, b):
+                neighbors[a].add(b)
+                neighbors[b].add(a)
+
+        groups = []
+        for combo in self._connected_combinations(candidates, neighbors):
+            frame_sets = [store.frames_of(oid) for oid in combo]
+            if (
+                longest_common_run(frame_sets, max_gap=self.max_gap)
+                >= self.min_frames
+            ):
+                groups.append(tuple(sorted(combo)))
+        return CoOccurrenceResult(frozenset(groups))
+
+    def _connected_combinations(
+        self, candidates: list[int], neighbors: dict[int, set[int]]
+    ):
+        """Yield ``group_size`` combinations forming a pairwise-overlapping
+        clique (necessary condition for joint co-occurrence)."""
+        for combo in itertools.combinations(candidates, self.group_size):
+            if all(
+                b in neighbors[a]
+                for a, b in itertools.combinations(combo, 2)
+            ):
+                yield combo

@@ -1,0 +1,117 @@
+"""The track-metadata store queries run against.
+
+A :class:`TrackStore` is the ingestion pipeline's hand-off to query
+processing: per object identifier, the set of frames it is visible in
+(plus bounding boxes for spatially constrained extensions).  It can be
+built from tracker output or directly from ground truth, which is how the
+evaluation computes reference answers.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass, field
+
+from repro.geometry import BBox
+from repro.track.base import Track
+
+
+@dataclass
+class TrackStore:
+    """Frame-indexed presence data per object id.
+
+    Attributes:
+        presence: ``object_id → sorted list of frames`` it appears in.
+        boxes: ``(object_id, frame) → BBox`` (optional spatial payload).
+    """
+
+    presence: dict[int, list[int]] = field(default_factory=dict)
+    boxes: dict[tuple[int, int], BBox] = field(default_factory=dict)
+
+    @classmethod
+    def from_tracks(
+        cls, tracks: list[Track], fill_gaps: bool = True
+    ) -> "TrackStore":
+        """Build a store from tracker (or merged) output.
+
+        Args:
+            tracks: the track list.
+            fill_gaps: treat each track as present on *every* frame between
+                its first and last observation (default).  This matches how
+                MOT outputs are consumed downstream — a track is one
+                continuous interval; missed detections inside it do not mean
+                the object left the scene.
+        """
+        store = cls()
+        for track in tracks:
+            if not track.observations:
+                continue
+            if fill_gaps:
+                frames = list(range(track.first_frame, track.last_frame + 1))
+            else:
+                frames = sorted(obs.frame for obs in track.observations)
+            store.presence[track.track_id] = frames
+            for obs in track.observations:
+                store.boxes[(track.track_id, obs.frame)] = obs.bbox
+        return store
+
+    @classmethod
+    def from_presence(cls, presence: dict[int, list[int]]) -> "TrackStore":
+        """Build a store from bare presence data (e.g. ground truth)."""
+        store = cls()
+        for object_id, frames in presence.items():
+            store.presence[object_id] = sorted(frames)
+        return store
+
+    def object_ids(self) -> list[int]:
+        return sorted(self.presence)
+
+    def frames_of(self, object_id: int) -> list[int]:
+        """Sorted frames in which ``object_id`` appears (empty if unknown)."""
+        return self.presence.get(object_id, [])
+
+    def span_of(self, object_id: int) -> int:
+        """Number of frames between first and last appearance, inclusive."""
+        frames = self.frames_of(object_id)
+        if not frames:
+            return 0
+        return frames[-1] - frames[0] + 1
+
+    def appearance_count(self, object_id: int) -> int:
+        return len(self.frames_of(object_id))
+
+    def present_in_range(self, object_id: int, start: int, end: int) -> int:
+        """How many frames of ``[start, end]`` the object appears in."""
+        frames = self.frames_of(object_id)
+        return bisect_right(frames, end) - bisect_left(frames, start)
+
+
+def longest_common_run(frame_sets: list[list[int]], max_gap: int = 0) -> int:
+    """Length (in frames) of the longest joint run across sorted frame lists.
+
+    A *joint run* is a maximal frame interval within which every object
+    appears at least once every ``max_gap + 1`` frames.  With ``max_gap=0``
+    this requires strictly consecutive joint presence.
+
+    Args:
+        frame_sets: one sorted frame list per object.
+        max_gap: tolerated per-object absence inside a run (detection
+            misses); the paper's co-occurrence clips survive short misses.
+    """
+    if not frame_sets or any(not frames for frames in frame_sets):
+        return 0
+    common = set(frame_sets[0])
+    for frames in frame_sets[1:]:
+        common &= set(frames)
+        if not common:
+            return 0
+    ordered = sorted(common)
+    best = 1
+    run_start = ordered[0]
+    prev = ordered[0]
+    for frame in ordered[1:]:
+        if frame - prev > max_gap + 1:
+            run_start = frame
+        best = max(best, frame - run_start + 1)
+        prev = frame
+    return best

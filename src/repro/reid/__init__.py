@@ -1,0 +1,33 @@
+"""Simulated Re-Identification (ReID) model, feature cache and cost model.
+
+The paper's algorithms treat the ReID model as an expensive oracle: feed it
+a BBox crop, get a feature vector whose Euclidean distance to another crop's
+vector is small iff the crops show the same object.  This package provides:
+
+* :class:`SimReIDModel` — features = object latent + condition-dependent
+  noise, L2-normalized.  Distances of same-object pairs concentrate well
+  below different-object pairs, with overlap driven by occlusion noise.
+* :class:`CostModel` — a simulated wall clock charging per ReID invocation,
+  with a batch law ``t(B) = t_launch + B · t_item`` standing in for GPU
+  batching (§IV-F).
+* :class:`FeatureCache` — memoization of extracted features, enabling the
+  paper's feature-reuse optimization (§IV-B).
+* :class:`ReidScorer` — the facade the merging algorithms use: BBox-pair
+  distances (single or batched) with caching and cost accounting.
+"""
+
+from repro.reid.cost import CostModel, CostParams
+from repro.reid.model import ReidParams, SimReIDModel
+from repro.reid.scorer import FeatureCache, ReidScorer, normalize_distance
+from repro.reid.sequence import SequenceReidScorer
+
+__all__ = [
+    "CostModel",
+    "CostParams",
+    "ReidParams",
+    "SimReIDModel",
+    "FeatureCache",
+    "ReidScorer",
+    "SequenceReidScorer",
+    "normalize_distance",
+]

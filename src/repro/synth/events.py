@@ -1,0 +1,130 @@
+"""Occlusion and glare machinery.
+
+Two mechanisms fragment tracks in the paper's telling (§I): *occlusion* —
+an object hidden behind another object or a static scene element — and
+*glare* — lighting that blinds detection for a stretch of frames.  This
+module provides both:
+
+* :class:`StaticOccluder` — a fixed opaque region (pole, parked truck).
+* dynamic object-object occlusion — computed in :func:`occlusion_fractions`
+  using a painter's-order depth proxy (larger ``y2`` = closer to camera).
+* :class:`GlareInterval` + :func:`glare_factor` — scheduled visibility
+  multipliers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry import BBox
+
+
+@dataclass(frozen=True)
+class StaticOccluder:
+    """A fixed opaque region that hides whatever passes behind it."""
+
+    region: BBox
+
+    def coverage(self, box: BBox) -> float:
+        """Fraction of ``box`` hidden by this occluder, in [0, 1]."""
+        inter = self.region.intersection(box)
+        if inter is None or box.area == 0:
+            return 0.0
+        return min(inter.area / box.area, 1.0)
+
+
+@dataclass(frozen=True)
+class GlareInterval:
+    """A frame interval during which detection visibility is multiplied down.
+
+    Attributes:
+        start: first affected frame (inclusive).
+        end: last affected frame (inclusive).
+        strength: visibility multiplier in [0, 1]; 0 blinds detection.
+    """
+
+    start: int
+    end: int
+    strength: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError("glare interval end before start")
+        if not 0 <= self.strength <= 1:
+            raise ValueError("glare strength must be in [0, 1]")
+
+    def active_at(self, frame: int) -> bool:
+        return self.start <= frame <= self.end
+
+
+def glare_factor(frame: int, intervals: list[GlareInterval]) -> float:
+    """Combined visibility multiplier at ``frame`` (product of active glares)."""
+    factor = 1.0
+    for interval in intervals:
+        if interval.active_at(frame):
+            factor *= interval.strength
+    return factor
+
+
+def schedule_glare(
+    n_frames: int,
+    rate_per_1000: float,
+    duration_range: tuple[int, int],
+    strength: float,
+    rng: np.random.Generator,
+) -> list[GlareInterval]:
+    """Draw a Poisson schedule of glare intervals over ``n_frames``.
+
+    Args:
+        n_frames: video length.
+        rate_per_1000: expected glare events per 1000 frames.
+        duration_range: inclusive (min, max) event length in frames.
+        strength: visibility multiplier during each event.
+        rng: random source.
+    """
+    expected = rate_per_1000 * n_frames / 1000.0
+    count = int(rng.poisson(expected)) if expected > 0 else 0
+    intervals = []
+    lo, hi = duration_range
+    if lo > hi:
+        raise ValueError("glare duration range inverted")
+    for _ in range(count):
+        start = int(rng.integers(0, max(n_frames, 1)))
+        duration = int(rng.integers(lo, hi + 1))
+        intervals.append(
+            GlareInterval(start, min(start + duration, n_frames - 1), strength)
+        )
+    return intervals
+
+
+def occlusion_fractions(
+    boxes: list[BBox], occluders: list[StaticOccluder]
+) -> list[float]:
+    """Per-object occluded fraction for one frame.
+
+    Depth ordering uses the bottom edge ``y2`` as a proximity proxy (objects
+    lower in the image are closer to a typical surveillance camera and paint
+    over objects above them).  Object-object occlusion and static-occluder
+    coverage combine multiplicatively on the *visible* remainder.
+
+    Returns:
+        A list aligned with ``boxes``: fraction of each box hidden, in [0, 1].
+    """
+    n = len(boxes)
+    fractions = [0.0] * n
+    order = sorted(range(n), key=lambda i: boxes[i].y2)
+
+    for rank, i in enumerate(order):
+        box = boxes[i]
+        hidden = 0.0
+        # Objects deeper in the painter's order (closer) occlude this one.
+        for j in order[rank + 1:]:
+            inter = box.intersection(boxes[j])
+            if inter is not None and box.area > 0:
+                hidden = max(hidden, inter.area / box.area)
+        for occluder in occluders:
+            hidden = max(hidden, occluder.coverage(box))
+        fractions[i] = min(hidden, 1.0)
+    return fractions

@@ -1,0 +1,126 @@
+"""Motion models for ground-truth objects.
+
+Each model answers one question: *where is the object's center at frame
+``t`` relative to its spawn frame?*  Models are deterministic functions of a
+pre-drawn random state so a world can be re-simulated reproducibly and
+positions can be queried out of order.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Protocol
+
+import numpy as np
+
+
+class MotionModel(Protocol):
+    """Maps a frame offset (frames since spawn) to a center position."""
+
+    def position(self, step: int) -> tuple[float, float]:
+        """Center coordinates ``(cx, cy)`` at ``step`` frames after spawn."""
+        ...
+
+
+@dataclass(frozen=True)
+class ConstantVelocity:
+    """Straight-line motion — vehicles and purposeful pedestrians.
+
+    Attributes:
+        start: spawn position ``(x, y)``.
+        velocity: per-frame displacement ``(vx, vy)``.
+    """
+
+    start: tuple[float, float]
+    velocity: tuple[float, float]
+
+    def position(self, step: int) -> tuple[float, float]:
+        return (
+            self.start[0] + self.velocity[0] * step,
+            self.start[1] + self.velocity[1] * step,
+        )
+
+
+@dataclass(frozen=True)
+class RandomWalk:
+    """Loitering pedestrian: a pre-drawn smoothed random walk.
+
+    The walk is materialized at construction (``steps`` entries) so that
+    ``position`` is a pure lookup; querying beyond the horizon holds the last
+    position, which is fine because objects are despawned by their lifetime.
+    """
+
+    path: tuple[tuple[float, float], ...]
+
+    @classmethod
+    def generate(
+        cls,
+        start: tuple[float, float],
+        steps: int,
+        rng: np.random.Generator,
+        step_scale: float = 3.0,
+        momentum: float = 0.85,
+    ) -> "RandomWalk":
+        """Draw a smoothed random walk of ``steps`` positions.
+
+        Args:
+            start: initial position.
+            steps: number of frames to materialize.
+            rng: random source.
+            step_scale: std-dev of the per-frame innovation, in pixels.
+            momentum: exponential smoothing of the velocity (0 = white
+                noise steps, 1 = constant velocity).
+        """
+        if steps < 1:
+            raise ValueError("steps must be >= 1")
+        positions = np.empty((steps, 2), dtype=np.float64)
+        positions[0] = start
+        velocity = np.zeros(2)
+        innovations = rng.normal(0.0, step_scale, size=(steps - 1, 2))
+        for i in range(1, steps):
+            velocity = momentum * velocity + (1.0 - momentum) * innovations[i - 1]
+            positions[i] = positions[i - 1] + velocity
+        return cls(path=tuple(map(tuple, positions.tolist())))
+
+    def position(self, step: int) -> tuple[float, float]:
+        index = min(max(step, 0), len(self.path) - 1)
+        return self.path[index]
+
+
+@dataclass(frozen=True)
+class WaypointPath:
+    """Piecewise-linear motion through waypoints at constant speed.
+
+    Useful for scripting crossings and near-misses (the situations that
+    generate occlusions) in tests and examples.
+    """
+
+    waypoints: tuple[tuple[float, float], ...]
+    speed: float
+
+    def __post_init__(self) -> None:
+        if len(self.waypoints) < 2:
+            raise ValueError("WaypointPath needs at least two waypoints")
+        if self.speed <= 0:
+            raise ValueError("speed must be positive")
+
+    def _segment_lengths(self) -> list[float]:
+        lengths = []
+        for (x1, y1), (x2, y2) in zip(self.waypoints, self.waypoints[1:]):
+            lengths.append(math.hypot(x2 - x1, y2 - y1))
+        return lengths
+
+    def position(self, step: int) -> tuple[float, float]:
+        distance = self.speed * max(step, 0)
+        for (start, end), seg_len in zip(
+            zip(self.waypoints, self.waypoints[1:]), self._segment_lengths()
+        ):
+            if distance <= seg_len or seg_len == 0:
+                frac = 0.0 if seg_len == 0 else distance / seg_len
+                return (
+                    start[0] + (end[0] - start[0]) * frac,
+                    start[1] + (end[1] - start[1]) * frac,
+                )
+            distance -= seg_len
+        return self.waypoints[-1]

@@ -1,0 +1,105 @@
+"""Scene configuration for the synthetic world.
+
+A :class:`SceneConfig` bundles everything :func:`repro.synth.world.simulate_world`
+needs: image geometry, object population dynamics, motion statistics and the
+occlusion/glare machinery.  Dataset presets (:mod:`repro.synth.datasets`)
+instantiate it with values matched to the statistics the paper reports for
+MOT-17, KITTI and PathTrack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SceneConfig:
+    """Parameters of a simulated camera scene.
+
+    Attributes:
+        width: image width in pixels.
+        height: image height in pixels.
+        fps: nominal frame rate (only used for documentation/reporting).
+        spawn_rate: expected number of new objects entering per frame
+            (Poisson).
+        initial_objects: number of objects present at frame 0.
+        max_objects: hard cap on simultaneously active objects.
+        min_track_length: minimum GT track lifetime in frames.
+        max_track_length: maximum GT track lifetime in frames.  This is the
+            paper's ``L_max``; windows must satisfy ``L >= 2 * L_max``.
+        mean_speed: average object speed in pixels/frame.
+        speed_jitter: standard deviation of per-object speed.
+        person_fraction: fraction of spawned objects that are pedestrians
+            (the rest are vehicles, which are larger and faster).
+        person_size: (width, height) of a pedestrian bbox in pixels.
+        vehicle_size: (width, height) of a vehicle bbox in pixels.
+        size_jitter: relative std-dev applied to object sizes.
+        n_static_occluders: number of static occluding regions (poles,
+            parked trucks) placed uniformly in the scene.
+        occluder_size: (width, height) of each static occluder.
+        glare_rate: expected number of glare events per 1000 frames.
+        glare_duration: (min, max) glare event length in frames.
+        glare_strength: visibility multiplier during glare, in [0, 1];
+            0 means the detector is fully blinded.
+        appearance_dim: dimensionality of the latent appearance vectors
+            consumed by the simulated ReID model.
+        appearance_spread: how distinct object appearances are.  Latents are
+            drawn i.i.d. N(0, appearance_spread²) per dimension before
+            normalization; larger values make different objects easier to
+            tell apart.
+        appearance_clusters: number of appearance clusters (clothing/vehicle
+            styles).  Objects in the same cluster are look-alikes whose
+            pairwise ReID distances fall near the polyonymous decision
+            boundary — the hard negatives that make ranking genuinely
+            sample-hungry.  0 disables clustering (uniform latents).
+        cluster_spread: within-cluster deviation magnitude; smaller values
+            make same-cluster objects harder to tell apart.
+        random_walk_fraction: fraction of objects using a random-walk motion
+            model instead of constant velocity (pedestrian loitering).
+    """
+
+    width: float = 1920.0
+    height: float = 1080.0
+    fps: float = 30.0
+    spawn_rate: float = 0.05
+    initial_objects: int = 12
+    max_objects: int = 40
+    min_track_length: int = 60
+    max_track_length: int = 600
+    mean_speed: float = 4.0
+    speed_jitter: float = 1.5
+    person_fraction: float = 0.9
+    person_size: tuple[float, float] = (60.0, 160.0)
+    vehicle_size: tuple[float, float] = (220.0, 130.0)
+    size_jitter: float = 0.15
+    n_static_occluders: int = 3
+    occluder_size: tuple[float, float] = (120.0, 400.0)
+    glare_rate: float = 1.5
+    glare_duration: tuple[int, int] = (10, 45)
+    glare_strength: float = 0.1
+    appearance_dim: int = 64
+    appearance_spread: float = 1.0
+    appearance_clusters: int = 20
+    cluster_spread: float = 0.75
+    random_walk_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError("scene dimensions must be positive")
+        if not 0 <= self.person_fraction <= 1:
+            raise ValueError("person_fraction must be in [0, 1]")
+        if self.min_track_length > self.max_track_length:
+            raise ValueError("min_track_length exceeds max_track_length")
+        if self.max_objects < 1:
+            raise ValueError("max_objects must be at least 1")
+        if not 0 <= self.glare_strength <= 1:
+            raise ValueError("glare_strength must be in [0, 1]")
+        if self.appearance_clusters < 0:
+            raise ValueError("appearance_clusters must be non-negative")
+        if self.cluster_spread < 0:
+            raise ValueError("cluster_spread must be non-negative")
+
+    @property
+    def l_max(self) -> int:
+        """The paper's ``L_max``: longest possible GT track, in frames."""
+        return self.max_track_length

@@ -1,0 +1,156 @@
+"""Linear assignment solvers.
+
+:func:`hungarian` is a from-scratch O(n³) Kuhn–Munkres implementation using
+the potentials/shortest-augmenting-path formulation; it handles rectangular
+cost matrices by operating on rows ≤ columns and transposing otherwise.
+:func:`greedy_assignment` is the cheap alternative some trackers (IoU
+tracker) use.  :func:`solve_assignment` wraps either with cost gating, which
+is how the trackers consume them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_INF = float("inf")
+
+
+def hungarian(cost: np.ndarray) -> list[tuple[int, int]]:
+    """Minimum-cost assignment on a rectangular cost matrix.
+
+    Args:
+        cost: ``(n_rows, n_cols)`` array of finite costs.
+
+    Returns:
+        List of ``(row, col)`` pairs; every row (if ``n_rows <= n_cols``)
+        or every column (otherwise) is matched.
+    """
+    cost = np.asarray(cost, dtype=np.float64)
+    if cost.ndim != 2:
+        raise ValueError("cost matrix must be 2-dimensional")
+    if cost.size == 0:
+        return []
+    if not np.isfinite(cost).all():
+        raise ValueError("cost matrix must be finite")
+
+    transposed = cost.shape[0] > cost.shape[1]
+    if transposed:
+        cost = cost.T
+    n, m = cost.shape  # n <= m
+
+    # Potentials-based Hungarian; internal arrays are 1-indexed with column 0
+    # acting as the virtual source of each augmenting path.
+    u = np.zeros(n + 1)
+    v = np.zeros(m + 1)
+    match = np.zeros(m + 1, dtype=np.int64)  # match[j] = row assigned to col j
+    way = np.zeros(m + 1, dtype=np.int64)  # predecessor column on the path
+
+    for i in range(1, n + 1):
+        match[0] = i
+        j0 = 0
+        minv = np.full(m + 1, _INF)
+        used = np.zeros(m + 1, dtype=bool)
+        while True:
+            used[j0] = True
+            i0 = int(match[j0])
+            # Vectorized relaxation of all unused columns.
+            free = ~used
+            free[0] = False
+            cols = np.nonzero(free)[0]
+            reduced = cost[i0 - 1, cols - 1] - u[i0] - v[cols]
+            better = reduced < minv[cols]
+            improved_cols = cols[better]
+            minv[improved_cols] = reduced[better]
+            way[improved_cols] = j0
+
+            pick = int(cols[np.argmin(minv[cols])])
+            delta = minv[pick]
+            # Update potentials along the alternating tree.
+            used_cols = np.nonzero(used)[0]
+            u[match[used_cols]] += delta
+            v[used_cols] -= delta
+            minv[cols] -= delta
+            j0 = pick
+            if match[j0] == 0:
+                break
+        # Augment along the stored predecessor path.
+        while j0:
+            j1 = int(way[j0])
+            match[j0] = match[j1]
+            j0 = j1
+
+    pairs = []
+    for j in range(1, m + 1):
+        if match[j] != 0:
+            row, col = int(match[j]) - 1, j - 1
+            pairs.append((col, row) if transposed else (row, col))
+    pairs.sort()
+    return pairs
+
+
+def greedy_assignment(
+    cost: np.ndarray, max_cost: float = _INF
+) -> list[tuple[int, int]]:
+    """Greedy minimum-cost matching: repeatedly take the cheapest pair.
+
+    Not optimal, but what cheap trackers (IoU tracker) actually use.
+
+    Args:
+        cost: ``(n_rows, n_cols)`` cost matrix.
+        max_cost: pairs with cost above this are never matched.
+    """
+    cost = np.asarray(cost, dtype=np.float64)
+    if cost.size == 0:
+        return []
+    pairs = []
+    used_rows: set[int] = set()
+    used_cols: set[int] = set()
+    order = np.argsort(cost, axis=None)
+    for flat in order:
+        r, c = divmod(int(flat), cost.shape[1])
+        if r in used_rows or c in used_cols:
+            continue
+        if cost[r, c] > max_cost:
+            break
+        pairs.append((r, c))
+        used_rows.add(r)
+        used_cols.add(c)
+    pairs.sort()
+    return pairs
+
+
+def solve_assignment(
+    cost: np.ndarray,
+    max_cost: float = _INF,
+    method: str = "hungarian",
+) -> list[tuple[int, int]]:
+    """Solve an assignment problem with cost gating.
+
+    Costs above ``max_cost`` are treated as forbidden: the solver runs on a
+    clamped matrix and gated pairs are dropped from the result.
+
+    Args:
+        cost: ``(n_rows, n_cols)`` cost matrix.
+        max_cost: maximum admissible pair cost.
+        method: ``"hungarian"`` (optimal) or ``"greedy"``.
+    """
+    cost = np.asarray(cost, dtype=np.float64)
+    if cost.size == 0:
+        return []
+    if method == "greedy":
+        return greedy_assignment(cost, max_cost)
+    if method != "hungarian":
+        raise ValueError(f"unknown assignment method {method!r}")
+
+    if np.isfinite(max_cost):
+        # Clamp forbidden entries to a large-but-finite sentinel so the
+        # solver stays numerically happy, then filter them out.
+        finite_max = float(np.max(cost[np.isfinite(cost)], initial=0.0))
+        sentinel = (max(finite_max, max_cost) + 1.0) * 10.0
+        clamped = np.where(
+            np.isfinite(cost) & (cost <= max_cost), cost, sentinel
+        )
+    else:
+        clamped = cost
+    pairs = hungarian(clamped)
+    return [(r, c) for r, c in pairs if cost[r, c] <= max_cost]

@@ -1,0 +1,119 @@
+"""Track data structures and the tracker interface.
+
+A :class:`Track` is the paper's ``t_{c,k}``: a tracking-ID plus the ordered
+sequence of its observations (the BBox sequence ``B_t``).  Trackers turn
+per-frame detection lists into a list of tracks; each concrete tracker lives
+in its own module.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.detect import Detection
+from repro.geometry import BBox
+
+
+@dataclass(frozen=True)
+class TrackObservation:
+    """One (frame, detection) membership of a track."""
+
+    frame: int
+    detection: Detection
+
+    @property
+    def bbox(self) -> BBox:
+        return self.detection.bbox
+
+
+@dataclass
+class Track:
+    """A tracker-produced track: a TID plus its ordered observations.
+
+    Attributes:
+        track_id: the tracking identifier (TID) assigned by the tracker.
+        observations: observations in increasing frame order.
+    """
+
+    track_id: int
+    observations: list[TrackObservation] = field(default_factory=list)
+
+    def append(self, frame: int, detection: Detection) -> None:
+        """Add an observation; frames must be strictly increasing."""
+        if self.observations and frame <= self.observations[-1].frame:
+            raise ValueError(
+                f"track {self.track_id}: non-increasing frame {frame}"
+            )
+        self.observations.append(TrackObservation(frame, detection))
+
+    def __len__(self) -> int:
+        return len(self.observations)
+
+    @property
+    def first_frame(self) -> int:
+        if not self.observations:
+            raise ValueError(f"track {self.track_id} is empty")
+        return self.observations[0].frame
+
+    @property
+    def last_frame(self) -> int:
+        if not self.observations:
+            raise ValueError(f"track {self.track_id} is empty")
+        return self.observations[-1].frame
+
+    @property
+    def bboxes(self) -> list[BBox]:
+        """The paper's ``B_t``: the ordered BBox sequence of this track."""
+        return [obs.bbox for obs in self.observations]
+
+    @property
+    def frames(self) -> list[int]:
+        return [obs.frame for obs in self.observations]
+
+    def dominant_source(self) -> int | None:
+        """Most frequent GT object behind this track (None for clutter).
+
+        Used only by evaluation code to label tracks; the merging algorithms
+        never call this.
+        """
+        counts: dict[int | None, int] = {}
+        for obs in self.observations:
+            key = obs.detection.source_id
+            counts[key] = counts.get(key, 0) + 1
+        if not counts:
+            return None
+        return max(counts, key=lambda k: counts[k])
+
+    def overlaps_frames(self, other: "Track") -> bool:
+        """Whether the two tracks coexist at some frame range."""
+        return not (
+            self.last_frame < other.first_frame
+            or other.last_frame < self.first_frame
+        )
+
+
+class Tracker(abc.ABC):
+    """Interface every tracker implements: detections in, tracks out."""
+
+    @abc.abstractmethod
+    def run(self, detections_per_frame: list[list[Detection]]) -> list[Track]:
+        """Track across an entire frame sequence.
+
+        Args:
+            detections_per_frame: ``detections_per_frame[t]`` lists the
+                detections of frame ``t``.
+
+        Returns:
+            All tracks produced, including ones still alive at the end.
+            Tracks shorter than the tracker's minimum length are dropped.
+        """
+
+    @staticmethod
+    def finalize(tracks: list[Track], min_length: int) -> list[Track]:
+        """Drop degenerate tracks and renumber TIDs densely from 0."""
+        kept = [t for t in tracks if len(t) >= min_length]
+        kept.sort(key=lambda t: (t.first_frame, t.track_id))
+        for new_id, track in enumerate(kept):
+            track.track_id = new_id
+        return kept

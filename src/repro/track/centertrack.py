@@ -1,0 +1,117 @@
+"""CenterTrack-style tracker (Zhou et al., 2020): tracking objects as points.
+
+CenterTrack associates detections to the previous frame by predicted center
+offsets — essentially greedy nearest-center matching with a size-relative
+gate and almost no memory.  Our proxy extrapolates each track's center with
+its last displacement and matches by center distance, dying after a very
+short miss window (CenterTrack is a frame-pair method).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.detect import Detection
+from repro.geometry import BBox
+from repro.track.assignment import solve_assignment
+from repro.track.base import Track, Tracker
+
+
+@dataclass
+class _PointTrack:
+    track: Track
+    box: BBox
+    velocity: tuple[float, float] = (0.0, 0.0)
+    misses: int = 0
+
+    def predicted_center(self) -> tuple[float, float]:
+        cx, cy = self.box.center
+        return (cx + self.velocity[0], cy + self.velocity[1])
+
+
+class CenterTrackTracker(Tracker):
+    """Point-based association with offset prediction.
+
+    Args:
+        gate_scale: a detection is claimable if its center lies within
+            ``gate_scale * sqrt(area)`` of the track's predicted center.
+        max_age: frames a track survives unmatched (CenterTrack ≈ 1-2).
+        min_length: tracks shorter than this are dropped.
+        min_confidence: detections below this score are ignored.
+    """
+
+    def __init__(
+        self,
+        gate_scale: float = 0.7,
+        max_age: int = 2,
+        min_length: int = 5,
+        min_confidence: float = 0.3,
+    ) -> None:
+        self.gate_scale = gate_scale
+        self.max_age = max_age
+        self.min_length = min_length
+        self.min_confidence = min_confidence
+
+    def run(self, detections_per_frame: list[list[Detection]]) -> list[Track]:
+        active: list[_PointTrack] = []
+        finished: list[Track] = []
+        next_id = 0
+
+        for frame, detections in enumerate(detections_per_frame):
+            detections = [
+                d for d in detections if d.confidence >= self.min_confidence
+            ]
+            matches: list[tuple[int, int]] = []
+            if active and detections:
+                cost = np.empty((len(active), len(detections)))
+                gates = np.empty_like(cost)
+                for ti, pt in enumerate(active):
+                    px, py = pt.predicted_center()
+                    radius = self.gate_scale * math.sqrt(max(pt.box.area, 1.0))
+                    for di, det in enumerate(detections):
+                        dx, dy = det.bbox.center
+                        cost[ti, di] = math.hypot(px - dx, py - dy)
+                        gates[ti, di] = radius
+                # Normalize by the per-track gate so one Hungarian gate works.
+                normalized = cost / np.maximum(gates, 1e-9)
+                matches = solve_assignment(
+                    normalized, max_cost=1.0, method="greedy"
+                )
+
+            matched_tracks = {r for r, _ in matches}
+            matched_dets = {c for _, c in matches}
+            for r, c in matches:
+                pt = active[r]
+                detection = detections[c]
+                old_cx, old_cy = pt.box.center
+                new_cx, new_cy = detection.bbox.center
+                pt.velocity = (new_cx - old_cx, new_cy - old_cy)
+                pt.box = detection.bbox
+                pt.misses = 0
+                pt.track.append(frame, detection)
+
+            survivors = []
+            for idx, pt in enumerate(active):
+                if idx in matched_tracks:
+                    survivors.append(pt)
+                    continue
+                pt.misses += 1
+                if pt.misses > self.max_age:
+                    finished.append(pt.track)
+                else:
+                    survivors.append(pt)
+            active = survivors
+
+            for c, detection in enumerate(detections):
+                if c in matched_dets:
+                    continue
+                track = Track(next_id)
+                track.append(frame, detection)
+                active.append(_PointTrack(track, detection.bbox))
+                next_id += 1
+
+        finished.extend(pt.track for pt in active)
+        return self.finalize(finished, self.min_length)

@@ -1,0 +1,94 @@
+"""Greedy IoU tracker — the simplest association baseline.
+
+No motion model, no appearance: each active track is represented by its last
+box and greedily matched to the highest-IoU detection of the next frame.
+Any detection gap kills the track immediately, so this tracker fragments
+the most; it exists to stress the merging algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.detect import Detection
+from repro.geometry import iou_matrix
+from repro.track.assignment import solve_assignment
+from repro.track.base import Track, Tracker
+
+
+@dataclass
+class _ActiveTrack:
+    track: Track
+    misses: int = 0
+
+
+class IoUTracker(Tracker):
+    """Greedy IoU association with a short miss tolerance.
+
+    Args:
+        iou_threshold: minimum IoU to associate a detection to a track.
+        max_age: frames a track survives without a detection.
+        min_length: tracks shorter than this are dropped from the output.
+        min_confidence: detections below this score are ignored.
+    """
+
+    def __init__(
+        self,
+        iou_threshold: float = 0.4,
+        max_age: int = 1,
+        min_length: int = 5,
+        min_confidence: float = 0.3,
+    ) -> None:
+        if not 0 < iou_threshold <= 1:
+            raise ValueError("iou_threshold must be in (0, 1]")
+        self.iou_threshold = iou_threshold
+        self.max_age = max_age
+        self.min_length = min_length
+        self.min_confidence = min_confidence
+
+    def run(self, detections_per_frame: list[list[Detection]]) -> list[Track]:
+        active: list[_ActiveTrack] = []
+        finished: list[Track] = []
+        next_id = 0
+
+        for frame, detections in enumerate(detections_per_frame):
+            detections = [
+                d for d in detections if d.confidence >= self.min_confidence
+            ]
+            track_boxes = [
+                at.track.observations[-1].bbox for at in active
+            ]
+            det_boxes = [d.bbox for d in detections]
+            ious = iou_matrix(track_boxes, det_boxes)
+            matches = solve_assignment(
+                1.0 - ious, max_cost=1.0 - self.iou_threshold, method="greedy"
+            )
+
+            matched_tracks = {r for r, _ in matches}
+            matched_dets = {c for _, c in matches}
+            for r, c in matches:
+                active[r].track.append(frame, detections[c])
+                active[r].misses = 0
+
+            survivors: list[_ActiveTrack] = []
+            for idx, at in enumerate(active):
+                if idx in matched_tracks:
+                    survivors.append(at)
+                    continue
+                at.misses += 1
+                if at.misses > self.max_age:
+                    finished.append(at.track)
+                else:
+                    survivors.append(at)
+            active = survivors
+
+            for c, detection in enumerate(detections):
+                if c in matched_dets:
+                    continue
+                track = Track(next_id)
+                track.append(frame, detection)
+                active.append(_ActiveTrack(track))
+                next_id += 1
+
+        finished.extend(at.track for at in active)
+        return self.finalize(finished, self.min_length)

@@ -1,0 +1,143 @@
+"""A from-scratch linear Kalman filter and the SORT-style box tracker state.
+
+:class:`KalmanFilter` is a generic predict/update implementation.
+:class:`KalmanBoxTracker` specializes it to the constant-velocity bounding
+box state SORT uses: ``[cx, cy, s, r, vcx, vcy, vs]`` where ``s`` is the box
+area and ``r`` its (assumed constant) aspect ratio.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry import BBox
+
+
+class KalmanFilter:
+    """Generic linear-Gaussian Kalman filter.
+
+    Attributes:
+        x: state mean, shape ``(dim_x,)``.
+        P: state covariance, shape ``(dim_x, dim_x)``.
+        F: state transition matrix.
+        H: observation matrix, shape ``(dim_z, dim_x)``.
+        Q: process noise covariance.
+        R: observation noise covariance.
+    """
+
+    def __init__(
+        self,
+        x: np.ndarray,
+        P: np.ndarray,
+        F: np.ndarray,
+        H: np.ndarray,
+        Q: np.ndarray,
+        R: np.ndarray,
+    ) -> None:
+        self.x = np.asarray(x, dtype=np.float64).copy()
+        self.P = np.asarray(P, dtype=np.float64).copy()
+        self.F = np.asarray(F, dtype=np.float64)
+        self.H = np.asarray(H, dtype=np.float64)
+        self.Q = np.asarray(Q, dtype=np.float64)
+        self.R = np.asarray(R, dtype=np.float64)
+        dim_x = self.x.shape[0]
+        dim_z = self.H.shape[0]
+        if self.F.shape != (dim_x, dim_x):
+            raise ValueError("F shape mismatch")
+        if self.P.shape != (dim_x, dim_x):
+            raise ValueError("P shape mismatch")
+        if self.H.shape[1] != dim_x:
+            raise ValueError("H shape mismatch")
+        if self.Q.shape != (dim_x, dim_x):
+            raise ValueError("Q shape mismatch")
+        if self.R.shape != (dim_z, dim_z):
+            raise ValueError("R shape mismatch")
+
+    def predict(self) -> np.ndarray:
+        """Advance the state one step; returns the predicted mean."""
+        self.x = self.F @ self.x
+        self.P = self.F @ self.P @ self.F.T + self.Q
+        return self.x
+
+    def update(self, z: np.ndarray) -> np.ndarray:
+        """Fold in an observation ``z``; returns the posterior mean."""
+        z = np.asarray(z, dtype=np.float64)
+        y = z - self.H @ self.x
+        S = self.H @ self.P @ self.H.T + self.R
+        K = self.P @ self.H.T @ np.linalg.inv(S)
+        self.x = self.x + K @ y
+        identity = np.eye(self.x.shape[0])
+        self.P = (identity - K @ self.H) @ self.P
+        return self.x
+
+    def innovation(self, z: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Residual and its covariance for gating, without updating."""
+        z = np.asarray(z, dtype=np.float64)
+        y = z - self.H @ self.x
+        S = self.H @ self.P @ self.H.T + self.R
+        return y, S
+
+
+def _bbox_to_z(box: BBox) -> np.ndarray:
+    """Convert a box to the SORT measurement ``[cx, cy, area, aspect]``."""
+    cx, cy = box.center
+    return np.array([cx, cy, box.area, box.aspect_ratio])
+
+
+def _z_to_bbox(z: np.ndarray) -> BBox:
+    """Back-convert a SORT state head to a box (clamping degenerate areas)."""
+    cx, cy, s, r = float(z[0]), float(z[1]), float(z[2]), float(z[3])
+    s = max(s, 1e-6)
+    r = max(r, 1e-6)
+    w = np.sqrt(s * r)
+    h = s / w
+    return BBox.from_center(cx, cy, w, h)
+
+
+class KalmanBoxTracker:
+    """Constant-velocity Kalman state for a single tracked box (SORT)."""
+
+    _F = np.array(
+        [
+            [1, 0, 0, 0, 1, 0, 0],
+            [0, 1, 0, 0, 0, 1, 0],
+            [0, 0, 1, 0, 0, 0, 1],
+            [0, 0, 0, 1, 0, 0, 0],
+            [0, 0, 0, 0, 1, 0, 0],
+            [0, 0, 0, 0, 0, 1, 0],
+            [0, 0, 0, 0, 0, 0, 1],
+        ],
+        dtype=np.float64,
+    )
+    _H = np.eye(4, 7)
+
+    def __init__(self, box: BBox) -> None:
+        z = _bbox_to_z(box)
+        x = np.zeros(7)
+        x[:4] = z
+        P = np.diag([10.0, 10.0, 10.0, 10.0, 1e4, 1e4, 1e4])
+        Q = np.diag([1.0, 1.0, 1.0, 0.01, 0.5, 0.5, 1e-3])
+        R = np.diag([1.0, 1.0, 10.0, 0.01])
+        self.kf = KalmanFilter(x, P, self._F, self._H, Q, R)
+        self.time_since_update = 0
+        self.hits = 1
+        self.age = 0
+
+    def predict(self) -> BBox:
+        """Predict the next-frame box."""
+        # Keep predicted area non-negative (SORT's standard guard).
+        if self.kf.x[2] + self.kf.x[6] <= 0:
+            self.kf.x[6] = 0.0
+        self.kf.predict()
+        self.age += 1
+        self.time_since_update += 1
+        return self.current_box()
+
+    def update(self, box: BBox) -> None:
+        """Fold in a matched detection."""
+        self.kf.update(_bbox_to_z(box))
+        self.time_since_update = 0
+        self.hits += 1
+
+    def current_box(self) -> BBox:
+        return _z_to_bbox(self.kf.x[:4])

@@ -1,0 +1,142 @@
+"""UMA-style tracker: Unified Motion and Affinity model (Yin et al., 2020).
+
+UMA learns a single affinity that couples motion and appearance.  Our proxy
+computes a unified cost ``λ·appearance + (1−λ)·(1−IoU(predicted, det))``
+over *all* active tracks in one Hungarian pass (no cascade), with a
+moderate miss tolerance.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.detect import Detection
+from repro.geometry import iou_matrix
+from repro.track.assignment import solve_assignment
+from repro.track.base import Track, Tracker
+from repro.track.kalman import KalmanBoxTracker
+
+Embedder = Callable[[Detection], np.ndarray]
+
+
+@dataclass
+class _UmaTrack:
+    track: Track
+    kalman: KalmanBoxTracker
+    features: deque = field(default_factory=lambda: deque(maxlen=10))
+
+    def mean_feature(self) -> np.ndarray | None:
+        if not self.features:
+            return None
+        mean = np.mean(np.stack(self.features), axis=0)
+        norm = np.linalg.norm(mean)
+        return mean / norm if norm > 0 else mean
+
+
+class UmaTracker(Tracker):
+    """Single-stage unified-affinity tracker.
+
+    Args:
+        embedder: appearance embedding function (``None`` → motion only).
+        affinity_weight: λ blending appearance vs motion cost.
+        gate: maximum admissible unified cost.
+        max_age: frames a track survives unmatched.
+        min_length: tracks shorter than this are dropped.
+        min_confidence: detections below this score are ignored.
+    """
+
+    def __init__(
+        self,
+        embedder: Embedder | None = None,
+        affinity_weight: float = 0.5,
+        gate: float = 0.55,
+        max_age: int = 10,
+        min_length: int = 5,
+        min_confidence: float = 0.3,
+    ) -> None:
+        self.embedder = embedder
+        self.affinity_weight = affinity_weight
+        self.gate = gate
+        self.max_age = max_age
+        self.min_length = min_length
+        self.min_confidence = min_confidence
+
+    def run(self, detections_per_frame: list[list[Detection]]) -> list[Track]:
+        active: list[_UmaTrack] = []
+        finished: list[Track] = []
+        next_id = 0
+
+        for frame, detections in enumerate(detections_per_frame):
+            detections = [
+                d for d in detections if d.confidence >= self.min_confidence
+            ]
+            features = [
+                self.embedder(d) if self.embedder else None
+                for d in detections
+            ]
+            predicted = [ut.kalman.predict() for ut in active]
+            det_boxes = [d.bbox for d in detections]
+            ious = iou_matrix(predicted, det_boxes)
+
+            if active and detections:
+                motion_cost = 1.0 - ious
+                if self.embedder is not None:
+                    app_cost = np.ones_like(motion_cost)
+                    for ti, ut in enumerate(active):
+                        mean = ut.mean_feature()
+                        if mean is None:
+                            continue
+                        for di, feat in enumerate(features):
+                            denom = np.linalg.norm(feat)
+                            if denom == 0:
+                                continue
+                            app_cost[ti, di] = 1.0 - float(
+                                np.dot(mean, feat) / denom
+                            )
+                    cost = (
+                        self.affinity_weight * app_cost
+                        + (1.0 - self.affinity_weight) * motion_cost
+                    )
+                else:
+                    cost = motion_cost
+                matches = solve_assignment(cost, max_cost=self.gate)
+            else:
+                matches = []
+
+            matched_tracks = {r for r, _ in matches}
+            matched_dets = {c for _, c in matches}
+            for r, c in matches:
+                ut = active[r]
+                detection = detections[c]
+                ut.kalman.update(detection.bbox)
+                ut.track.append(frame, detection)
+                if features[c] is not None:
+                    ut.features.append(features[c])
+
+            survivors = []
+            for idx, ut in enumerate(active):
+                if idx in matched_tracks:
+                    survivors.append(ut)
+                elif ut.kalman.time_since_update > self.max_age:
+                    finished.append(ut.track)
+                else:
+                    survivors.append(ut)
+            active = survivors
+
+            for c, detection in enumerate(detections):
+                if c in matched_dets:
+                    continue
+                track = Track(next_id)
+                track.append(frame, detection)
+                new = _UmaTrack(track, KalmanBoxTracker(detection.bbox))
+                if features[c] is not None:
+                    new.features.append(features[c])
+                active.append(new)
+                next_id += 1
+
+        finished.extend(ut.track for ut in active)
+        return self.finalize(finished, self.min_length)

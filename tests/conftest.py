@@ -1,0 +1,35 @@
+"""Shared fixtures for the test suite.
+
+Expensive artefacts (a simulated world with detections and tracks) are
+session-scoped; tests must not mutate them.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from helpers import tiny_world  # noqa: E402
+
+from repro.detect import NoisyDetector  # noqa: E402
+from repro.track import TracktorTracker  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def world():
+    """A small simulated world shared across tests (read-only)."""
+    return tiny_world(n_frames=200, seed=7)
+
+
+@pytest.fixture(scope="session")
+def detections(world):
+    return NoisyDetector().detect_video(world, seed=11)
+
+
+@pytest.fixture(scope="session")
+def tracks(world, detections):
+    return TracktorTracker().run(detections)

@@ -1,0 +1,77 @@
+"""Unit tests for repro.analysis.correlations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from helpers import make_track, planted_pairs, stub_scorer
+
+from repro.analysis import (
+    pair_signal_correlations,
+    pearson,
+    temporal_distance,
+)
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        assert pearson([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson([1, 2, 3], [6, 4, 2]) == pytest.approx(-1.0)
+
+    def test_uncorrelated_constant(self):
+        assert pearson([1, 2, 3], [5, 5, 5]) == 0.0
+
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        xs = rng.normal(size=50).tolist()
+        ys = (np.array(xs) * 0.5 + rng.normal(size=50)).tolist()
+        expected = float(np.corrcoef(xs, ys)[0, 1])
+        assert pearson(xs, ys) == pytest.approx(expected, abs=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pearson([1.0], [2.0])
+        with pytest.raises(ValueError):
+            pearson([1.0, 2.0], [1.0])
+
+
+class TestTemporalDistance:
+    def test_gap(self):
+        a = make_track(0, [0, 1, 2])
+        b = make_track(1, [10, 11])
+        assert temporal_distance(a, b) == 8.0
+        assert temporal_distance(b, a) == 8.0
+
+    def test_overlapping_tracks_negative(self):
+        a = make_track(0, [0, 1, 2, 3])
+        b = make_track(1, [2, 3, 4])
+        assert temporal_distance(a, b) == -1.0
+
+
+class TestPairSignalCorrelations:
+    def test_structure(self):
+        pairs, _ = planted_pairs()
+        corr = pair_signal_correlations(pairs, stub_scorer())
+        assert corr.n_pairs == len(pairs)
+        assert -1.0 <= corr.spatial <= 1.0
+        assert -1.0 <= corr.temporal <= 1.0
+
+    def test_requires_two_pairs(self):
+        pairs, _ = planted_pairs(n_distinct=2, track_len=2)
+        with pytest.raises(ValueError):
+            pair_signal_correlations(pairs[:1], stub_scorer())
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 1000),
+    n=st.integers(3, 40),
+)
+def test_pearson_bounded(seed, n):
+    rng = np.random.default_rng(seed)
+    xs = rng.normal(size=n).tolist()
+    ys = rng.normal(size=n).tolist()
+    value = pearson(xs, ys)
+    assert -1.0 - 1e-9 <= value <= 1.0 + 1e-9

@@ -1,0 +1,90 @@
+"""Unit tests for the ASCII plot renderer."""
+
+import pytest
+
+from repro.experiments.ascii_plot import ascii_plot, rec_fps_plot
+from repro.experiments.sweeps import MethodPoint
+
+
+class TestAsciiPlot:
+    def test_basic_render(self):
+        text = ascii_plot(
+            {"a": [(1, 0.1), (2, 0.5), (3, 0.9)]},
+            width=20,
+            height=6,
+            x_label="x",
+            y_label="y",
+            title="demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "o" in text  # first glyph
+        assert "a" in lines[-1]  # legend
+
+    def test_multiple_series_distinct_glyphs(self):
+        text = ascii_plot(
+            {"one": [(1, 1.0)], "two": [(2, 2.0)]},
+            width=20,
+            height=6,
+        )
+        assert "o one" in text
+        assert "x two" in text
+        assert text.count("o") >= 2  # glyph plus legend entry
+
+    def test_log_axis(self):
+        text = ascii_plot(
+            {"a": [(1, 0.0), (1000, 1.0)]},
+            width=20,
+            height=6,
+            log_x=True,
+        )
+        assert "(log)" in text
+
+    def test_log_axis_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"a": [(0.0, 1.0)]}, log_x=True)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"a": []})
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"a": [(1, 1)]}, width=4, height=2)
+
+    def test_constant_series_ok(self):
+        text = ascii_plot({"a": [(1, 5.0), (2, 5.0)]}, width=20, height=6)
+        assert "|" in text
+
+    def test_extreme_values_stay_on_grid(self):
+        text = ascii_plot(
+            {"a": [(1, -100.0), (2, 100.0)]}, width=20, height=6
+        )
+        for line in text.splitlines():
+            assert len(line) <= 30
+
+
+class TestRecFpsPlot:
+    def test_renders_method_points(self):
+        curves = {
+            "TMerge": [
+                MethodPoint("TMerge", 0.5, 100.0, 1.0, 1000),
+                MethodPoint("TMerge", 0.9, 40.0, 3.0, 4000),
+            ],
+            "BL": [MethodPoint("BL", 1.0, 5.0, 60.0)],
+        }
+        text = rec_fps_plot(curves, title="Figure 5")
+        assert "Figure 5" in text
+        assert "FPS" in text
+        assert "REC" in text
+        assert "TMerge" in text
+
+    def test_drops_zero_fps_points(self):
+        curves = {
+            "weird": [
+                MethodPoint("weird", 0.5, 0.0, 1.0),
+                MethodPoint("weird", 0.9, 10.0, 1.0),
+            ],
+        }
+        text = rec_fps_plot(curves)
+        assert "weird" in text

@@ -1,0 +1,145 @@
+"""Unit tests for repro.track.assignment (Hungarian and greedy matching)."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy.optimize import linear_sum_assignment
+
+from repro.track.assignment import greedy_assignment, hungarian, solve_assignment
+
+
+def brute_force_cost(cost: np.ndarray) -> float:
+    """Minimum assignment cost by exhaustive enumeration (small inputs)."""
+    n, m = cost.shape
+    if n <= m:
+        best = float("inf")
+        for perm in itertools.permutations(range(m), n):
+            best = min(best, sum(cost[i, j] for i, j in enumerate(perm)))
+        return best
+    return brute_force_cost(cost.T)
+
+
+def assignment_cost(cost: np.ndarray, pairs) -> float:
+    return sum(cost[r, c] for r, c in pairs)
+
+
+class TestHungarian:
+    def test_identity_matrix(self):
+        cost = 1.0 - np.eye(4)
+        pairs = hungarian(cost)
+        assert pairs == [(i, i) for i in range(4)]
+
+    def test_known_example(self):
+        cost = np.array([[4.0, 1.0, 3.0], [2.0, 0.0, 5.0], [3.0, 2.0, 2.0]])
+        pairs = hungarian(cost)
+        assert assignment_cost(cost, pairs) == pytest.approx(5.0)
+
+    def test_rectangular_more_cols(self):
+        cost = np.array([[10.0, 1.0, 10.0, 10.0], [10.0, 10.0, 1.0, 10.0]])
+        pairs = hungarian(cost)
+        assert len(pairs) == 2
+        assert assignment_cost(cost, pairs) == pytest.approx(2.0)
+
+    def test_rectangular_more_rows(self):
+        cost = np.array([[10.0, 1.0], [1.0, 10.0], [5.0, 5.0]])
+        pairs = hungarian(cost)
+        assert len(pairs) == 2
+        assert assignment_cost(cost, pairs) == pytest.approx(2.0)
+
+    def test_empty(self):
+        assert hungarian(np.zeros((0, 0))) == []
+        assert hungarian(np.zeros((0, 3))) == []
+
+    def test_single_cell(self):
+        assert hungarian(np.array([[7.0]])) == [(0, 0)]
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(ValueError):
+            hungarian(np.array([[1.0, np.inf], [0.0, 1.0]]))
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ValueError):
+            hungarian(np.zeros(5))
+
+    def test_matches_scipy_on_random(self):
+        rng = np.random.default_rng(0)
+        for _ in range(25):
+            n, m = rng.integers(1, 9, size=2)
+            cost = rng.uniform(0, 10, size=(n, m))
+            ours = assignment_cost(cost, hungarian(cost))
+            rows, cols = linear_sum_assignment(cost)
+            theirs = cost[rows, cols].sum()
+            assert ours == pytest.approx(theirs)
+
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            n, m = rng.integers(1, 6, size=2)
+            cost = rng.uniform(0, 10, size=(n, m))
+            ours = assignment_cost(cost, hungarian(cost))
+            assert ours == pytest.approx(brute_force_cost(cost))
+
+
+class TestGreedy:
+    def test_takes_cheapest_first(self):
+        cost = np.array([[1.0, 2.0], [0.5, 3.0]])
+        pairs = greedy_assignment(cost)
+        # Greedy grabs (1,0)=0.5 then (0,1)=2.0 — total 2.5, not optimal 1+3.
+        assert (1, 0) in pairs and (0, 1) in pairs
+
+    def test_max_cost_gates(self):
+        cost = np.array([[1.0, 9.0], [9.0, 9.0]])
+        pairs = greedy_assignment(cost, max_cost=5.0)
+        assert pairs == [(0, 0)]
+
+    def test_empty(self):
+        assert greedy_assignment(np.zeros((0, 4))) == []
+
+
+class TestSolveAssignment:
+    def test_gating_drops_expensive_pairs(self):
+        cost = np.array([[0.1, 9.0], [9.0, 9.0]])
+        pairs = solve_assignment(cost, max_cost=1.0)
+        assert pairs == [(0, 0)]
+
+    def test_all_gated(self):
+        cost = np.full((3, 3), 10.0)
+        assert solve_assignment(cost, max_cost=1.0) == []
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            solve_assignment(np.zeros((2, 2)), method="magic")
+
+    def test_greedy_method(self):
+        cost = np.array([[0.1, 0.2], [0.2, 0.1]])
+        pairs = solve_assignment(cost, method="greedy")
+        assert pairs == [(0, 0), (1, 1)]
+
+    def test_infinite_entries_treated_as_forbidden(self):
+        cost = np.array([[np.inf, 1.0], [1.0, np.inf]])
+        pairs = solve_assignment(cost, max_cost=5.0)
+        assert pairs == [(0, 1), (1, 0)]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(1, 6),
+    m=st.integers(1, 6),
+    seed=st.integers(0, 10_000),
+)
+def test_hungarian_optimal_property(n, m, seed):
+    """Hungarian cost always equals scipy's optimum."""
+    rng = np.random.default_rng(seed)
+    cost = rng.uniform(0, 100, size=(n, m))
+    pairs = hungarian(cost)
+    assert len(pairs) == min(n, m)
+    rows = [r for r, _ in pairs]
+    cols = [c for _, c in pairs]
+    assert len(set(rows)) == len(rows)
+    assert len(set(cols)) == len(cols)
+    expected_rows, expected_cols = linear_sum_assignment(cost)
+    assert assignment_cost(cost, pairs) == pytest.approx(
+        cost[expected_rows, expected_cols].sum()
+    )

@@ -1,0 +1,234 @@
+"""Unit tests for the repro.bandit package."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bandit import (
+    BetaPosterior,
+    GaussianPosterior,
+    RegretTracker,
+    ThompsonSampler,
+    hoeffding_radius,
+    lcb_index,
+    ucb_index,
+)
+
+
+class TestBetaPosterior:
+    def test_prior_mean(self):
+        assert BetaPosterior().mean == pytest.approx(0.5)
+        assert BetaPosterior(1, 2).mean == pytest.approx(1 / 3)
+
+    def test_update_success(self):
+        post = BetaPosterior()
+        post.update(1)
+        assert post.successes == 2.0
+        assert post.mean == pytest.approx(2 / 3)
+
+    def test_update_failure(self):
+        post = BetaPosterior()
+        post.update(0)
+        assert post.failures == 2.0
+        assert post.mean == pytest.approx(1 / 3)
+
+    def test_invalid_outcome(self):
+        with pytest.raises(ValueError):
+            BetaPosterior().update(2)
+
+    def test_invalid_shapes(self):
+        with pytest.raises(ValueError):
+            BetaPosterior(0, 1)
+
+    def test_pulls(self):
+        post = BetaPosterior()
+        assert post.pulls == 0
+        post.update(1)
+        post.update(0)
+        assert post.pulls == 2
+
+    def test_sample_in_unit_interval(self):
+        post = BetaPosterior(3, 5)
+        rng = np.random.default_rng(0)
+        samples = [post.sample(rng) for _ in range(100)]
+        assert all(0.0 <= s <= 1.0 for s in samples)
+
+    def test_mean_converges_to_true_rate(self):
+        post = BetaPosterior()
+        rng = np.random.default_rng(1)
+        for _ in range(2000):
+            post.update(int(rng.random() < 0.3))
+        assert post.mean == pytest.approx(0.3, abs=0.03)
+
+    def test_variance_shrinks_with_data(self):
+        post = BetaPosterior()
+        v0 = post.variance
+        for _ in range(50):
+            post.update(1)
+            post.update(0)
+        assert post.variance < v0
+
+    def test_copy_is_independent(self):
+        post = BetaPosterior(2, 3)
+        clone = post.copy()
+        clone.update(1)
+        assert post.successes == 2
+
+
+class TestGaussianPosterior:
+    def test_update_moves_toward_observation(self):
+        post = GaussianPosterior(mean=0.5, variance=0.25, obs_variance=0.05)
+        post.update(0.1)
+        assert post.mean < 0.5
+        assert post.variance < 0.25
+
+    def test_converges(self):
+        post = GaussianPosterior()
+        for _ in range(200):
+            post.update(0.2)
+        assert post.mean == pytest.approx(0.2, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GaussianPosterior(variance=0.0)
+
+
+class TestThompsonSampler:
+    def test_requires_arms(self):
+        with pytest.raises(ValueError):
+            ThompsonSampler({}, np.random.default_rng(0))
+
+    def test_biases_toward_low_mean_arm(self):
+        rng = np.random.default_rng(0)
+        posteriors = {
+            "low": BetaPosterior(2, 20),   # mean ~0.09
+            "high": BetaPosterior(20, 2),  # mean ~0.91
+        }
+        sampler = ThompsonSampler(posteriors, rng)
+        picks = [sampler.select_min() for _ in range(200)]
+        assert picks.count("low") > 180
+
+    def test_eligible_restriction(self):
+        rng = np.random.default_rng(1)
+        posteriors = {
+            "a": BetaPosterior(1, 100),
+            "b": BetaPosterior(100, 1),
+        }
+        sampler = ThompsonSampler(posteriors, rng)
+        assert sampler.select_min(eligible=["b"]) == "b"
+
+    def test_empty_eligible_raises(self):
+        sampler = ThompsonSampler(
+            {"a": BetaPosterior()}, np.random.default_rng(0)
+        )
+        with pytest.raises(ValueError):
+            sampler.select_min(eligible=[])
+
+    def test_batch_selection_size(self):
+        rng = np.random.default_rng(2)
+        posteriors = {i: BetaPosterior() for i in range(10)}
+        sampler = ThompsonSampler(posteriors, rng)
+        assert len(sampler.select_min_batch(4)) == 4
+        assert len(sampler.select_min_batch(20)) == 10
+        with pytest.raises(ValueError):
+            sampler.select_min_batch(0)
+
+    def test_batch_selection_distinct(self):
+        rng = np.random.default_rng(3)
+        posteriors = {i: BetaPosterior() for i in range(30)}
+        sampler = ThompsonSampler(posteriors, rng)
+        batch = sampler.select_min_batch(10)
+        assert len(set(batch)) == 10
+
+    def test_update_routes_to_arm(self):
+        posteriors = {"a": BetaPosterior(), "b": BetaPosterior()}
+        sampler = ThompsonSampler(posteriors, np.random.default_rng(0))
+        sampler.update("a", 1)
+        assert sampler.posteriors["a"].successes == 2
+        assert sampler.posteriors["b"].successes == 1
+
+    def test_posterior_means(self):
+        posteriors = {"a": BetaPosterior(1, 3)}
+        sampler = ThompsonSampler(posteriors, np.random.default_rng(0))
+        assert sampler.posterior_means() == {"a": pytest.approx(0.25)}
+
+
+class TestConfidenceBounds:
+    def test_radius_shrinks_with_pulls(self):
+        assert hoeffding_radius(100, 10) < hoeffding_radius(100, 2)
+
+    def test_radius_infinite_for_unpulled(self):
+        assert math.isinf(hoeffding_radius(10, 0))
+
+    def test_radius_formula(self):
+        assert hoeffding_radius(100, 4) == pytest.approx(
+            math.sqrt(2 * math.log(100) / 4)
+        )
+
+    def test_radius_validation(self):
+        with pytest.raises(ValueError):
+            hoeffding_radius(0, 1)
+        with pytest.raises(ValueError):
+            hoeffding_radius(10, -1)
+
+    def test_lcb_below_ucb(self):
+        assert lcb_index(0.5, 100, 5) < ucb_index(0.5, 100, 5)
+
+    def test_lcb_unpulled_is_minus_infinity(self):
+        assert lcb_index(0.5, 100, 0) == -math.inf
+
+    def test_tau_one_gives_zero_radius(self):
+        assert hoeffding_radius(1, 5) == 0.0
+
+
+class TestRegretTracker:
+    def test_accumulation(self):
+        tracker = RegretTracker(s_min=0.2)
+        tracker.record(0.5)
+        tracker.record(0.2)
+        assert tracker.rounds == 2
+        assert tracker.cumulative == pytest.approx(0.3)
+        assert tracker.average == pytest.approx(0.15)
+
+    def test_empty_average(self):
+        assert RegretTracker(0.1).average == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RegretTracker(1.5)
+
+    def test_bound_decreases_in_rounds(self):
+        early = RegretTracker.theoretical_bound(100, 10)
+        late = RegretTracker.theoretical_bound(100, 100_000)
+        assert late < early
+
+    def test_bound_validation(self):
+        with pytest.raises(ValueError):
+            RegretTracker.theoretical_bound(0, 10)
+        with pytest.raises(ValueError):
+            RegretTracker.theoretical_bound(10, 0)
+
+
+@given(
+    successes=st.integers(1, 200),
+    failures=st.integers(1, 200),
+)
+def test_beta_mean_in_open_interval(successes, failures):
+    post = BetaPosterior(float(successes), float(failures))
+    assert 0.0 < post.mean < 1.0
+    assert post.variance > 0.0
+
+
+@given(
+    outcomes=st.lists(st.integers(0, 1), min_size=1, max_size=100),
+)
+def test_beta_update_counts(outcomes):
+    post = BetaPosterior()
+    post_successes = sum(outcomes)
+    for outcome in outcomes:
+        post.update(outcome)
+    assert post.successes == 1 + post_successes
+    assert post.failures == 1 + len(outcomes) - post_successes
+    assert post.pulls == len(outcomes)

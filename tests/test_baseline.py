@@ -1,0 +1,99 @@
+"""Unit tests for Algorithm 1 (BL / BL-B)."""
+
+import pytest
+
+from helpers import planted_pairs, stub_scorer
+
+from repro.core.baseline import BaselineMerger
+from repro.core.results import top_k_count
+
+
+class TestTopKCount:
+    def test_ceiling(self):
+        assert top_k_count(100, 0.05) == 5
+        assert top_k_count(101, 0.05) == 6
+
+    def test_bounds(self):
+        assert top_k_count(10, 0.0) == 0
+        assert top_k_count(10, 1.0) == 10
+        assert top_k_count(0, 0.5) == 0
+
+    def test_never_exceeds_n(self):
+        assert top_k_count(3, 0.99) == 3
+
+
+class TestBaselineMerger:
+    def test_finds_planted_pair(self):
+        pairs, planted = planted_pairs()
+        result = BaselineMerger(k=1.0 / len(pairs)).run(pairs, stub_scorer())
+        assert len(result.candidates) == 1
+        assert result.candidates[0].key == planted
+
+    def test_planted_pair_has_lowest_score(self):
+        pairs, planted = planted_pairs()
+        result = BaselineMerger(k=1.0).run(pairs, stub_scorer())
+        best = min(result.scores, key=result.scores.get)
+        assert best == planted
+        assert result.scores[planted] == pytest.approx(0.0, abs=1e-6)
+
+    def test_candidate_budget(self):
+        pairs, _ = planted_pairs()
+        result = BaselineMerger(k=0.2).run(pairs, stub_scorer())
+        expected = top_k_count(len(pairs), 0.2)
+        assert len(result.candidates) == expected
+
+    def test_k_zero_returns_nothing(self):
+        pairs, _ = planted_pairs()
+        result = BaselineMerger(k=0.0).run(pairs, stub_scorer())
+        assert result.candidates == []
+
+    def test_candidates_sorted_by_score(self):
+        pairs, _ = planted_pairs()
+        result = BaselineMerger(k=0.5).run(pairs, stub_scorer(noise=0.05))
+        scores = [result.scores[p.key] for p in result.candidates]
+        assert scores == sorted(scores)
+
+    def test_all_scores_computed(self):
+        pairs, _ = planted_pairs()
+        result = BaselineMerger(k=0.1).run(pairs, stub_scorer())
+        assert set(result.scores) == {p.key for p in pairs}
+
+    def test_simulated_cost_charged(self):
+        pairs, _ = planted_pairs()
+        scorer = stub_scorer()
+        result = BaselineMerger(k=0.1).run(pairs, scorer)
+        total_bbox_pairs = sum(p.n_bbox_pairs for p in pairs)
+        assert scorer.cost.n_distances == total_bbox_pairs
+        assert result.simulated_seconds > 0
+
+    def test_batched_charges_batch_law(self):
+        pairs, _ = planted_pairs()
+        scorer = stub_scorer()
+        BaselineMerger(k=0.1, batch_size=10).run(pairs, scorer)
+        assert scorer.cost.n_extractions == 0
+        assert scorer.cost.n_batched_extractions > 0
+
+    def test_batched_same_ranking_as_unbatched(self):
+        pairs, _ = planted_pairs()
+        plain = BaselineMerger(k=0.3).run(pairs, stub_scorer())
+        for pair in pairs:
+            pair.reset_sampling()
+        batched = BaselineMerger(k=0.3, batch_size=7).run(
+            pairs, stub_scorer()
+        )
+        assert plain.candidate_keys == batched.candidate_keys
+
+    def test_name(self):
+        assert BaselineMerger().name == "BL"
+        assert BaselineMerger(batch_size=10).name == "BL-B10"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BaselineMerger(k=1.5)
+        with pytest.raises(ValueError):
+            BaselineMerger(batch_size=0)
+
+    def test_empty_pairs(self):
+        result = BaselineMerger(k=0.1).run([], stub_scorer())
+        assert result.candidates == []
+        assert result.n_pairs == 0

@@ -1,0 +1,21 @@
+"""Tests for the python -m repro.experiments CLI."""
+
+import pytest
+
+from repro.experiments.__main__ import main, _RUNNERS
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in _RUNNERS:
+            assert name in out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_every_figure_registered(self):
+        expected = {f"fig{i}" for i in range(3, 14)}
+        assert set(_RUNNERS) == expected

@@ -1,0 +1,56 @@
+"""Unit tests for the ε-greedy extension merger."""
+
+import pytest
+
+from helpers import planted_pairs, stub_scorer
+
+from repro.core.epsilon import EpsilonGreedyMerger
+
+
+class TestEpsilonGreedy:
+    def test_finds_planted_pair(self):
+        pairs, planted = planted_pairs()
+        result = EpsilonGreedyMerger(
+            epsilon=0.1, tau_max=500, k=1.0 / len(pairs), seed=0
+        ).run(pairs, stub_scorer())
+        assert result.candidates[0].key == planted
+
+    def test_initial_sweep_covers_all_arms(self):
+        pairs, _ = planted_pairs()
+        EpsilonGreedyMerger(epsilon=0.0, tau_max=len(pairs), seed=0).run(
+            pairs, stub_scorer()
+        )
+        assert all(p.n_sampled >= 1 for p in pairs)
+
+    def test_pure_greedy_focuses_after_sweep(self):
+        pairs, planted = planted_pairs(track_len=12)
+        EpsilonGreedyMerger(
+            epsilon=0.0, tau_max=len(pairs) + 100, seed=0
+        ).run(pairs, stub_scorer())
+        by_key = {p.key: p for p in pairs}
+        # With zero noise and zero exploration, all post-sweep pulls hit
+        # the planted (lowest-mean) arm: 1 sweep pull + 100 greedy pulls.
+        assert by_key[planted].n_sampled == 101
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EpsilonGreedyMerger(epsilon=1.5)
+        with pytest.raises(ValueError):
+            EpsilonGreedyMerger(tau_max=0)
+        with pytest.raises(ValueError):
+            EpsilonGreedyMerger(k=-1.0)
+
+    def test_name(self):
+        assert EpsilonGreedyMerger(epsilon=0.25).name == "EpsGreedy(0.25)"
+
+    def test_empty_pairs(self):
+        result = EpsilonGreedyMerger().run([], stub_scorer())
+        assert result.candidates == []
+
+    def test_deterministic(self):
+        pairs, _ = planted_pairs()
+        a = EpsilonGreedyMerger(tau_max=200, seed=4).run(pairs, stub_scorer())
+        for pair in pairs:
+            pair.reset_sampling()
+        b = EpsilonGreedyMerger(tau_max=200, seed=4).run(pairs, stub_scorer())
+        assert a.candidate_keys == b.candidate_keys

@@ -1,0 +1,130 @@
+"""Unit tests for repro.io (MOTChallenge interchange and JSON results)."""
+
+import pytest
+
+from helpers import make_track, stub_scorer, planted_pairs, tiny_world
+
+from repro.core.baseline import BaselineMerger
+from repro.experiments.sweeps import MethodPoint
+from repro.io import (
+    load_points_json,
+    merge_result_to_dict,
+    read_detections_mot,
+    read_tracks_mot,
+    save_points_json,
+    world_to_mot_gt,
+    write_detections_mot,
+    write_tracks_mot,
+)
+
+
+class TestTrackRoundtrip:
+    def test_roundtrip_preserves_geometry(self, tmp_path):
+        tracks = [
+            make_track(3, [0, 1, 2], positions=[(10, 20), (14, 20), (18, 20)]),
+            make_track(7, [5, 6], positions=[(100, 50), (104, 50)]),
+        ]
+        path = tmp_path / "tracks.txt"
+        write_tracks_mot(tracks, path)
+        loaded = read_tracks_mot(path)
+        assert [t.track_id for t in loaded] == [3, 7]
+        assert loaded[0].frames == [0, 1, 2]
+        for original, restored in zip(tracks, loaded):
+            for obs_a, obs_b in zip(
+                original.observations, restored.observations
+            ):
+                assert obs_a.bbox.to_tlwh() == pytest.approx(
+                    obs_b.bbox.to_tlwh(), abs=0.01
+                )
+
+    def test_read_strips_simulation_attributes(self, tmp_path):
+        tracks = [make_track(0, [0, 1], source_id=5)]
+        path = tmp_path / "tracks.txt"
+        write_tracks_mot(tracks, path)
+        loaded = read_tracks_mot(path)
+        assert loaded[0].observations[0].detection.source_id is None
+        assert loaded[0].observations[0].detection.visibility == 1.0
+
+    def test_duplicate_lines_tolerated(self, tmp_path):
+        path = tmp_path / "dup.txt"
+        path.write_text(
+            "1,0,10,10,5,5,0.9,-1,-1,-1\n1,0,10,10,5,5,0.9,-1,-1,-1\n"
+        )
+        loaded = read_tracks_mot(path)
+        assert len(loaded) == 1
+        assert len(loaded[0]) == 1
+
+    def test_frames_one_based_in_file(self, tmp_path):
+        tracks = [make_track(0, [0])]
+        path = tmp_path / "tracks.txt"
+        write_tracks_mot(tracks, path)
+        first_field = path.read_text().split(",")[0]
+        assert first_field == "1"
+
+
+class TestDetectionRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        from helpers import make_detection
+
+        detections = [
+            [make_detection(10, 10), make_detection(50, 50)],
+            [],
+            [make_detection(20, 20, confidence=0.4)],
+        ]
+        path = tmp_path / "det.txt"
+        write_detections_mot(detections, path)
+        loaded = read_detections_mot(path)
+        assert len(loaded) == 3
+        assert len(loaded[0]) == 2
+        assert loaded[1] == []
+        assert loaded[2][0].confidence == pytest.approx(0.4, abs=1e-3)
+
+    def test_tracks_runnable_after_read(self, tmp_path):
+        """External detections feed the trackers like simulated ones."""
+        from repro.track import IoUTracker
+        from helpers import make_detection
+
+        detections = [
+            [make_detection(100 + 4 * t, 200)] for t in range(20)
+        ]
+        path = tmp_path / "det.txt"
+        write_detections_mot(detections, path)
+        loaded = read_detections_mot(path)
+        tracks = IoUTracker().run(loaded)
+        assert len(tracks) == 1
+
+
+class TestGtExport:
+    def test_world_gt_lines(self, tmp_path):
+        world = tiny_world(n_frames=20, seed=3)
+        path = tmp_path / "gt.txt"
+        world_to_mot_gt(world, path)
+        lines = path.read_text().strip().splitlines()
+        total_states = sum(len(f) for f in world.frames)
+        assert len(lines) == total_states
+        first = lines[0].split(",")
+        assert len(first) == 9
+        assert float(first[8]) <= 1.0  # visibility column
+
+
+class TestJsonResults:
+    def test_merge_result_serializes(self):
+        pairs, _ = planted_pairs(n_distinct=3)
+        result = BaselineMerger(k=0.5).run(pairs, stub_scorer())
+        payload = merge_result_to_dict(result)
+        import json
+
+        text = json.dumps(payload)
+        assert result.method in text
+        assert payload["n_pairs"] == len(pairs)
+        assert len(payload["candidates"]) == len(result.candidates)
+
+    def test_points_roundtrip(self, tmp_path):
+        points = [
+            MethodPoint("TMerge", 0.9, 42.0, 3.5, parameter=1000),
+            MethodPoint("BL", 1.0, 5.0, 100.0),
+        ]
+        path = tmp_path / "points.json"
+        save_points_json(points, path)
+        loaded = load_points_json(path)
+        assert loaded == points

@@ -1,0 +1,121 @@
+"""Unit tests for repro.track.kalman."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import BBox
+from repro.track.kalman import KalmanBoxTracker, KalmanFilter
+
+
+def make_1d_filter(q=0.01, r=1.0):
+    """A 1-D constant-velocity filter for controlled tests."""
+    return KalmanFilter(
+        x=np.array([0.0, 0.0]),
+        P=np.eye(2) * 10.0,
+        F=np.array([[1.0, 1.0], [0.0, 1.0]]),
+        H=np.array([[1.0, 0.0]]),
+        Q=np.eye(2) * q,
+        R=np.array([[r]]),
+    )
+
+
+class TestKalmanFilter:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            KalmanFilter(
+                x=np.zeros(2),
+                P=np.eye(3),
+                F=np.eye(2),
+                H=np.eye(1, 2),
+                Q=np.eye(2),
+                R=np.eye(1),
+            )
+
+    def test_predict_advances_state(self):
+        kf = make_1d_filter()
+        kf.x = np.array([1.0, 2.0])
+        kf.predict()
+        assert kf.x[0] == pytest.approx(3.0)
+        assert kf.x[1] == pytest.approx(2.0)
+
+    def test_predict_grows_uncertainty(self):
+        kf = make_1d_filter()
+        before = kf.P.trace()
+        kf.predict()
+        assert kf.P.trace() > before
+
+    def test_update_shrinks_uncertainty(self):
+        kf = make_1d_filter()
+        before = kf.P[0, 0]
+        kf.update(np.array([0.5]))
+        assert kf.P[0, 0] < before
+
+    def test_converges_to_linear_motion(self):
+        kf = make_1d_filter()
+        rng = np.random.default_rng(0)
+        # True motion: position = 3t, with unit observation noise.
+        for t in range(1, 60):
+            kf.predict()
+            kf.update(np.array([3.0 * t + rng.normal(0, 0.5)]))
+        assert kf.x[0] == pytest.approx(3.0 * 59, abs=2.0)
+        assert kf.x[1] == pytest.approx(3.0, abs=0.5)
+
+    def test_innovation_does_not_mutate(self):
+        kf = make_1d_filter()
+        x_before = kf.x.copy()
+        y, S = kf.innovation(np.array([4.0]))
+        assert np.allclose(kf.x, x_before)
+        assert y.shape == (1,)
+        assert S.shape == (1, 1)
+        assert S[0, 0] > 0
+
+
+class TestKalmanBoxTracker:
+    def test_initial_box_roundtrip(self):
+        box = BBox.from_center(100, 200, 40, 80)
+        tracker = KalmanBoxTracker(box)
+        current = tracker.current_box()
+        assert current.center[0] == pytest.approx(100)
+        assert current.center[1] == pytest.approx(200)
+        assert current.width == pytest.approx(40, rel=1e-3)
+        assert current.height == pytest.approx(80, rel=1e-3)
+
+    def test_tracks_constant_velocity(self):
+        tracker = KalmanBoxTracker(BBox.from_center(0, 50, 20, 40))
+        for t in range(1, 30):
+            tracker.predict()
+            tracker.update(BBox.from_center(5.0 * t, 50, 20, 40))
+        predicted = tracker.predict()
+        assert predicted.center[0] == pytest.approx(5.0 * 30, abs=3.0)
+
+    def test_miss_counter(self):
+        tracker = KalmanBoxTracker(BBox.from_center(0, 0, 10, 10))
+        assert tracker.time_since_update == 0
+        tracker.predict()
+        tracker.predict()
+        assert tracker.time_since_update == 2
+        tracker.update(BBox.from_center(1, 1, 10, 10))
+        assert tracker.time_since_update == 0
+        assert tracker.hits == 2
+
+    def test_prediction_without_updates_extrapolates(self):
+        tracker = KalmanBoxTracker(BBox.from_center(10, 10, 10, 10))
+        for t in range(1, 10):
+            tracker.predict()
+            tracker.update(BBox.from_center(10 + 2 * t, 10, 10, 10))
+        # Now coast without updates; center keeps moving right.
+        coast1 = tracker.predict().center[0]
+        coast2 = tracker.predict().center[0]
+        assert coast2 > coast1
+
+    def test_area_never_negative(self):
+        tracker = KalmanBoxTracker(BBox.from_center(10, 10, 4, 4))
+        # Shrinking observations push area velocity negative; the guard
+        # keeps predictions valid.
+        for t in range(1, 20):
+            tracker.predict()
+            size = max(4.0 - 0.4 * t, 0.5)
+            tracker.update(BBox.from_center(10, 10, size, size))
+        for _ in range(20):
+            box = tracker.predict()
+            assert box.area >= 0.0

@@ -1,0 +1,178 @@
+"""Unit tests for repro.core.merge (union-find and track merging)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from helpers import make_track
+
+from repro.core.merge import UnionFind, merge_tracks
+
+
+class TestUnionFind:
+    def test_singletons(self):
+        dsu = UnionFind([1, 2, 3])
+        assert dsu.find(1) == 1
+        assert not dsu.connected(1, 2)
+
+    def test_union_connects(self):
+        dsu = UnionFind([1, 2, 3])
+        dsu.union(1, 2)
+        assert dsu.connected(1, 2)
+        assert not dsu.connected(1, 3)
+
+    def test_transitive(self):
+        dsu = UnionFind([1, 2, 3, 4])
+        dsu.union(1, 2)
+        dsu.union(2, 3)
+        assert dsu.connected(1, 3)
+        assert not dsu.connected(1, 4)
+
+    def test_union_idempotent(self):
+        dsu = UnionFind([1, 2])
+        root1 = dsu.union(1, 2)
+        root2 = dsu.union(1, 2)
+        assert root1 == root2
+
+    def test_unknown_element(self):
+        dsu = UnionFind([1])
+        with pytest.raises(KeyError):
+            dsu.find(99)
+
+    def test_components(self):
+        dsu = UnionFind([1, 2, 3, 4, 5])
+        dsu.union(1, 2)
+        dsu.union(4, 5)
+        components = dsu.components()
+        sizes = sorted(len(m) for m in components.values())
+        assert sizes == [1, 2, 2]
+        all_members = sorted(m for ms in components.values() for m in ms)
+        assert all_members == [1, 2, 3, 4, 5]
+
+    def test_add_after_construction(self):
+        dsu = UnionFind()
+        dsu.add(7)
+        dsu.add(7)  # idempotent
+        assert dsu.find(7) == 7
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(1, 20),
+    unions=st.lists(
+        st.tuples(st.integers(0, 19), st.integers(0, 19)), max_size=30
+    ),
+)
+def test_union_find_partition_property(n, unions):
+    """Components always partition the element set; connectivity matches a
+    reference graph reachability check."""
+    import networkx as nx
+
+    dsu = UnionFind(list(range(n)))
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    for a, b in unions:
+        if a < n and b < n:
+            dsu.union(a, b)
+            graph.add_edge(a, b)
+    expected = {frozenset(c) for c in nx.connected_components(graph)}
+    actual = {frozenset(m) for m in dsu.components().values()}
+    assert actual == expected
+
+
+class TestMergeTracks:
+    def test_no_pairs_identity(self):
+        tracks = [make_track(0, [0, 1]), make_track(1, [5, 6])]
+        merged, id_map = merge_tracks(tracks, [])
+        assert len(merged) == 2
+        assert id_map == {0: 0, 1: 1}
+
+    def test_simple_merge(self):
+        a = make_track(0, [0, 1, 2])
+        b = make_track(1, [10, 11, 12])
+        merged, id_map = merge_tracks([a, b], [(0, 1)])
+        assert len(merged) == 1
+        track = merged[0]
+        assert track.track_id == 0
+        assert track.frames == [0, 1, 2, 10, 11, 12]
+        assert id_map == {0: 0, 1: 0}
+
+    def test_transitive_merge(self):
+        tracks = [
+            make_track(0, [0, 1]),
+            make_track(1, [10, 11]),
+            make_track(2, [20, 21]),
+        ]
+        merged, id_map = merge_tracks(tracks, [(0, 1), (1, 2)])
+        assert len(merged) == 1
+        assert id_map == {0: 0, 1: 0, 2: 0}
+        assert merged[0].frames == [0, 1, 10, 11, 20, 21]
+
+    def test_new_id_is_smallest_member(self):
+        tracks = [make_track(7, [0, 1]), make_track(3, [10, 11])]
+        merged, id_map = merge_tracks(tracks, [(3, 7)])
+        assert merged[0].track_id == 3
+        assert id_map == {3: 3, 7: 3}
+
+    def test_frame_collision_prefers_longer_fragment(self):
+        long = make_track(0, [0, 1, 2, 3, 4], source_id=10)
+        short = make_track(1, [4, 5], source_id=20)
+        merged, _ = merge_tracks([long, short], [(0, 1)])
+        track = merged[0]
+        assert track.frames == [0, 1, 2, 3, 4, 5]
+        # Frame 4 keeps the longer fragment's detection.
+        frame4 = next(o for o in track.observations if o.frame == 4)
+        assert frame4.detection.source_id == 10
+
+    def test_unknown_pair_rejected(self):
+        tracks = [make_track(0, [0, 1])]
+        with pytest.raises(KeyError):
+            merge_tracks(tracks, [(0, 99)])
+
+    def test_duplicate_track_ids_rejected(self):
+        tracks = [make_track(0, [0, 1]), make_track(0, [5, 6])]
+        with pytest.raises(ValueError):
+            merge_tracks(tracks, [])
+
+    def test_output_sorted_by_first_frame(self):
+        tracks = [
+            make_track(0, [50, 51]),
+            make_track(1, [0, 1]),
+            make_track(2, [100, 101]),
+        ]
+        merged, _ = merge_tracks(tracks, [(0, 2)])
+        assert [t.first_frame for t in merged] == sorted(
+            t.first_frame for t in merged
+        )
+
+    def test_untouched_tracks_preserved(self):
+        a = make_track(0, [0, 1])
+        b = make_track(1, [5, 6])
+        c = make_track(2, [9, 10])
+        merged, id_map = merge_tracks([a, b, c], [(0, 1)])
+        survivors = {t.track_id for t in merged}
+        assert survivors == {0, 2}
+        assert id_map[2] == 2
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n_tracks=st.integers(2, 8),
+    pair_indices=st.lists(
+        st.tuples(st.integers(0, 7), st.integers(0, 7)), max_size=10
+    ),
+)
+def test_merge_preserves_observation_count_property(n_tracks, pair_indices):
+    """Merging never loses frames when fragments are disjoint in time."""
+    tracks = [
+        make_track(i, [i * 100 + f for f in range(5)]) for i in range(n_tracks)
+    ]
+    pairs = [
+        (a, b)
+        for a, b in pair_indices
+        if a < n_tracks and b < n_tracks and a != b
+    ]
+    merged, id_map = merge_tracks(tracks, pairs)
+    total_before = sum(len(t) for t in tracks)
+    total_after = sum(len(t) for t in merged)
+    assert total_after == total_before
+    assert set(id_map) == set(range(n_tracks))

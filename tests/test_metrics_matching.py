@@ -1,0 +1,131 @@
+"""Unit tests for repro.metrics.matching and recall."""
+
+import pytest
+
+from helpers import make_track, tiny_world
+
+from repro.core.pairs import TrackPair, build_track_pairs
+from repro.detect import NoisyDetector
+from repro.metrics.matching import (
+    match_tracks_by_source,
+    match_tracks_to_gt,
+    polyonymous_pairs,
+    polyonymous_rate,
+)
+from repro.metrics.recall import average_recall, rec_k_curve, window_recall
+from repro.track import TracktorTracker
+
+
+class TestSourceMatching:
+    def test_dominant_source_wins(self):
+        track = make_track(0, [0, 1, 2], source_id=5)
+        assignment = match_tracks_by_source([track])
+        assert assignment.gt_of(0) == 5
+        assert assignment.matched_fraction[0] == 1.0
+
+    def test_clutter_track_unassigned(self):
+        track = make_track(0, [0, 1], source_id=None)
+        assignment = match_tracks_by_source([track])
+        assert assignment.gt_of(0) is None
+
+    def test_coverage_threshold(self):
+        from repro.track.base import Track
+        from helpers import make_detection
+
+        track = Track(0)
+        track.append(0, make_detection(source_id=1))
+        track.append(1, make_detection(source_id=2))
+        track.append(2, make_detection(source_id=3))
+        assignment = match_tracks_by_source([track], min_coverage=0.5)
+        assert assignment.gt_of(0) is None
+
+
+class TestGeometricMatching:
+    def test_agrees_with_source_matching(self, world, detections, tracks):
+        geometric = match_tracks_to_gt(tracks, world)
+        by_source = match_tracks_by_source(tracks)
+        common = set(geometric.identity) & set(by_source.identity)
+        assert common, "expected assigned tracks"
+        agree = sum(
+            1
+            for tid in common
+            if geometric.identity[tid] == by_source.identity[tid]
+        )
+        assert agree / len(common) > 0.95
+
+    def test_fractions_in_unit_interval(self, world, tracks):
+        assignment = match_tracks_to_gt(tracks, world)
+        assert all(
+            0.0 < f <= 1.0 for f in assignment.matched_fraction.values()
+        )
+
+
+class TestPolyonymousPairs:
+    def test_detects_shared_identity(self):
+        tracks = [
+            make_track(0, [0, 1], source_id=7),
+            make_track(1, [10, 11], source_id=7),
+            make_track(2, [0, 1], source_id=8),
+        ]
+        pairs = build_track_pairs(tracks)
+        assignment = match_tracks_by_source(tracks)
+        assert polyonymous_pairs(pairs, assignment) == {(0, 1)}
+
+    def test_unassigned_tracks_never_polyonymous(self):
+        tracks = [
+            make_track(0, [0, 1], source_id=None),
+            make_track(1, [10, 11], source_id=None),
+        ]
+        pairs = build_track_pairs(tracks)
+        assignment = match_tracks_by_source(tracks)
+        assert polyonymous_pairs(pairs, assignment) == set()
+
+    def test_rate_and_resolution(self):
+        tracks = [
+            make_track(0, [0, 1], source_id=7),
+            make_track(1, [10, 11], source_id=7),
+            make_track(2, [0, 1], source_id=8),
+            make_track(3, [0, 1], source_id=9),
+        ]
+        pairs = build_track_pairs(tracks)
+        assignment = match_tracks_by_source(tracks)
+        rate = polyonymous_rate([pairs], assignment)
+        assert rate == pytest.approx(1 / 6)
+        resolved = polyonymous_rate([pairs], assignment, resolved={(0, 1)})
+        assert resolved == 0.0
+
+
+class TestRecall:
+    def test_window_recall(self):
+        assert window_recall({(0, 1)}, {(0, 1), (2, 3)}) == 0.5
+        assert window_recall(set(), {(0, 1)}) == 0.0
+        assert window_recall({(0, 1)}, set()) is None
+
+    def test_average_recall_skips_empty_windows(self):
+        per_window = [
+            ({(0, 1)}, {(0, 1)}),
+            (set(), set()),  # no GT pairs: excluded
+            (set(), {(5, 6)}),
+        ]
+        assert average_recall(per_window) == pytest.approx(0.5)
+
+    def test_average_recall_all_empty(self):
+        assert average_recall([(set(), set())]) == 1.0
+
+    def test_rec_k_curve_monotone(self):
+        tracks = [make_track(i, [0, 1], source_id=i) for i in range(6)]
+        tracks.append(make_track(6, [10, 11], source_id=0))
+        pairs = build_track_pairs(tracks)
+        assignment = match_tracks_by_source(tracks)
+        gt = polyonymous_pairs(pairs, assignment)
+        scores = {p.key: (0.0 if p.key in gt else 0.9) for p in pairs}
+        curve = rec_k_curve(pairs, scores, gt, [0.01, 0.1, 0.5, 1.0])
+        values = [rec for _, rec in curve]
+        assert values == sorted(values)
+        assert values[-1] == 1.0
+
+    def test_rec_k_invalid_k(self):
+        tracks = [make_track(0, [0, 1]), make_track(1, [5, 6])]
+        pairs = build_track_pairs(tracks)
+        with pytest.raises(ValueError):
+            rec_k_curve(pairs, {p.key: 0.0 for p in pairs}, set(), [1.5])

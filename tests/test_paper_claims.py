@@ -1,0 +1,124 @@
+"""Integration tests of the paper's headline claims at small scale.
+
+These run the real simulation stack (world → detector → Tracktor → ReID
+model) rather than the stub scorer, and assert the *relationships* the
+paper's evaluation establishes.  Scales are small, so thresholds are
+conservative.
+"""
+
+import pytest
+
+from helpers import tiny_world
+
+from repro.core import (
+    BaselineMerger,
+    TMerge,
+    WindowedTracks,
+    build_track_pairs,
+    partition_windows,
+)
+from repro.detect import NoisyDetector
+from repro.metrics.matching import match_tracks_to_gt, polyonymous_pairs
+from repro.metrics.recall import window_recall
+from repro.reid import CostModel, ReidScorer, SimReIDModel
+from repro.track import TracktorTracker
+
+
+@pytest.fixture(scope="module")
+def claim_setup():
+    world = tiny_world(
+        n_frames=300,
+        seed=13,
+        initial_objects=7,
+        max_objects=12,
+        spawn_rate=0.02,
+        min_track_length=60,
+        max_track_length=250,
+        appearance_dim=64,
+    )
+    detections = NoisyDetector().detect_video(world, seed=113)
+    tracks = TracktorTracker().run(detections)
+    assignment = match_tracks_to_gt(tracks, world)
+    windows = partition_windows(world.n_frames, 600)
+    windowed = WindowedTracks.assign(tracks, windows)
+    pairs = build_track_pairs(windowed.tracks_of(0))
+    gt = polyonymous_pairs(pairs, assignment)
+    return world, pairs, gt
+
+
+def run_merger(world, pairs, merger):
+    for pair in pairs:
+        pair.reset_sampling()
+    scorer = ReidScorer(SimReIDModel(world, seed=1), cost=CostModel())
+    result = merger.run(pairs, scorer)
+    return result, scorer.cost
+
+
+class TestPaperClaims:
+    def test_fragmentation_exists(self, claim_setup):
+        """Trackers produce polyonymous pairs (the problem is real)."""
+        _, pairs, gt = claim_setup
+        assert len(pairs) > 20
+        assert len(gt) >= 2
+
+    def test_baseline_recall_high_at_small_k(self, claim_setup):
+        """§III: a small K suffices for the exhaustive baseline."""
+        world, pairs, gt = claim_setup
+        result, _ = run_merger(world, pairs, BaselineMerger(k=0.1))
+        assert window_recall(result.candidate_keys, gt) >= 0.75
+
+    def test_tmerge_recall_grows_with_budget(self, claim_setup):
+        """Figure 7: REC rises with τ_max toward the baseline's level."""
+        world, pairs, gt = claim_setup
+        recs = []
+        for tau in (50, 500, 5000):
+            result, _ = run_merger(
+                world, pairs,
+                TMerge(k=0.1, tau_max=tau, batch_size=20, seed=3),
+            )
+            recs.append(window_recall(result.candidate_keys, gt))
+        assert recs[-1] >= recs[0]
+        assert recs[-1] >= 0.7
+
+    def test_tmerge_much_cheaper_than_baseline(self, claim_setup):
+        """§V-D: TMerge reaches useful recall at a fraction of BL's cost."""
+        world, pairs, gt = claim_setup
+        bl_result, bl_cost = run_merger(world, pairs, BaselineMerger(k=0.1))
+        tm_result, tm_cost = run_merger(
+            world, pairs, TMerge(k=0.1, tau_max=1500, batch_size=50, seed=3)
+        )
+        assert tm_result.simulated_seconds < bl_result.simulated_seconds / 3
+        tm_rec = window_recall(tm_result.candidate_keys, gt)
+        bl_rec = window_recall(bl_result.candidate_keys, gt)
+        assert tm_rec >= bl_rec - 0.34
+
+    def test_batching_reduces_cost_at_equal_draws(self, claim_setup):
+        """§IV-F: the batched variant spends less simulated time for the
+        same number of pulls."""
+        world, pairs, _ = claim_setup
+        plain, _ = run_merger(
+            world, pairs, TMerge(k=0.1, tau_max=1000, seed=3)
+        )
+        batched, _ = run_merger(
+            world, pairs,
+            TMerge(k=0.1, tau_max=100, batch_size=10, seed=3),
+        )
+        # Same ~1000 draws, batched pays far less.
+        assert batched.simulated_seconds < plain.simulated_seconds
+
+    def test_feature_reuse_caps_extractions(self, claim_setup):
+        """§IV-B: extractions are bounded by the number of distinct BBoxes
+        regardless of how many pairs are sampled."""
+        world, pairs, _ = claim_setup
+        _, cost = run_merger(
+            world, pairs, TMerge(k=0.1, tau_max=5000, seed=3)
+        )
+        distinct_bboxes = len(
+            {
+                (t.track_id, i)
+                for pair in pairs
+                for t in (pair.track_a, pair.track_b)
+                for i in range(len(t))
+            }
+        )
+        assert cost.n_extractions <= distinct_bboxes

@@ -1,0 +1,126 @@
+"""Cross-cutting property-based tests on algorithm invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from helpers import make_track, stub_scorer
+
+from repro.core import (
+    BaselineMerger,
+    LcbMerger,
+    ProportionalMerger,
+    TMerge,
+    build_track_pairs,
+)
+from repro.core.results import top_k_count
+from repro.metrics.recall import window_recall
+
+
+def _random_pairs(n_tracks: int, track_len: int, n_sources: int, seed: int):
+    """Random track population with a controlled number of GT sources."""
+    rng = np.random.default_rng(seed)
+    tracks = []
+    for i in range(n_tracks):
+        source = int(rng.integers(0, n_sources))
+        start = int(rng.integers(0, 500))
+        tracks.append(
+            make_track(
+                i,
+                list(range(start, start + track_len)),
+                positions=[
+                    (float(rng.uniform(0, 1000)), float(rng.uniform(0, 500)))
+                    for _ in range(track_len)
+                ],
+                source_id=source,
+            )
+        )
+    return build_track_pairs(tracks)
+
+
+MERGER_FACTORIES = [
+    lambda k, seed: BaselineMerger(k=k),
+    lambda k, seed: ProportionalMerger(eta=0.3, k=k, seed=seed),
+    lambda k, seed: LcbMerger(tau_max=120, k=k, seed=seed),
+    lambda k, seed: TMerge(k=k, tau_max=120, seed=seed),
+]
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n_tracks=st.integers(3, 8),
+    k=st.floats(0.05, 1.0),
+    seed=st.integers(0, 100),
+    merger_index=st.integers(0, len(MERGER_FACTORIES) - 1),
+)
+def test_candidate_budget_invariant(n_tracks, k, seed, merger_index):
+    """Every merger returns exactly ⌈K·|P_c|⌉ candidates, all from P_c,
+    with no duplicates."""
+    pairs = _random_pairs(n_tracks, track_len=3, n_sources=4, seed=seed)
+    merger = MERGER_FACTORIES[merger_index](k, seed)
+    result = merger.run(pairs, stub_scorer(noise=0.2, seed=seed))
+    assert len(result.candidates) == top_k_count(len(pairs), k)
+    keys = [p.key for p in result.candidates]
+    assert len(set(keys)) == len(keys)
+    assert set(keys) <= {p.key for p in pairs}
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 50))
+def test_full_k_gives_perfect_recall(seed):
+    """K = 1 returns every pair, so REC = 1 whatever the estimates."""
+    pairs = _random_pairs(6, track_len=3, n_sources=3, seed=seed)
+    from repro.metrics.matching import match_tracks_by_source, polyonymous_pairs
+
+    tracks = list({p.track_a.track_id: p.track_a for p in pairs}.values())
+    tracks += list({p.track_b.track_id: p.track_b for p in pairs}.values())
+    unique = list({t.track_id: t for t in tracks}.values())
+    gt = polyonymous_pairs(pairs, match_tracks_by_source(unique))
+    result = TMerge(k=1.0, tau_max=50, seed=seed).run(
+        pairs, stub_scorer(noise=0.2, seed=seed)
+    )
+    rec = window_recall(result.candidate_keys, gt)
+    assert rec is None or rec == 1.0
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 50),
+    batch=st.integers(1, 8),
+)
+def test_batched_tmerge_same_invariants(seed, batch):
+    """The batched variant preserves the budget and key invariants."""
+    pairs = _random_pairs(6, track_len=4, n_sources=3, seed=seed)
+    result = TMerge(k=0.3, tau_max=40, batch_size=batch, seed=seed).run(
+        pairs, stub_scorer(noise=0.2, seed=seed)
+    )
+    assert len(result.candidates) == top_k_count(len(pairs), 0.3)
+    assert all(0.0 <= v <= 1.0 for v in result.scores.values())
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 100), n_sources=st.integers(1, 6))
+def test_draws_never_exceed_pools(seed, n_sources):
+    """No merger ever samples more BBox pairs than a pair's pool holds."""
+    pairs = _random_pairs(6, track_len=2, n_sources=n_sources, seed=seed)
+    TMerge(k=0.5, tau_max=500, seed=seed).run(
+        pairs, stub_scorer(noise=0.1, seed=seed)
+    )
+    for pair in pairs:
+        assert pair.n_sampled <= pair.n_bbox_pairs
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 50))
+def test_cost_monotone_in_work(seed):
+    """More iterations never cost less simulated time."""
+    pairs = _random_pairs(6, track_len=5, n_sources=3, seed=seed)
+    small = TMerge(k=0.2, tau_max=20, seed=seed).run(
+        pairs, stub_scorer(seed=seed)
+    )
+    for pair in pairs:
+        pair.reset_sampling()
+    large = TMerge(k=0.2, tau_max=200, seed=seed).run(
+        pairs, stub_scorer(seed=seed)
+    )
+    assert large.simulated_seconds >= small.simulated_seconds

@@ -1,0 +1,128 @@
+"""Unit tests for the PS and LCB competitors."""
+
+import math
+
+import pytest
+
+from helpers import planted_pairs, stub_scorer
+
+from repro.core.lcb import LcbMerger
+from repro.core.proportional import ProportionalMerger
+
+
+class TestProportionalMerger:
+    def test_finds_planted_pair_with_modest_eta(self):
+        pairs, planted = planted_pairs()
+        result = ProportionalMerger(eta=0.2, k=1.0 / len(pairs)).run(
+            pairs, stub_scorer()
+        )
+        assert result.candidates[0].key == planted
+
+    def test_draw_counts_match_eta(self):
+        pairs, _ = planted_pairs(track_len=10)  # pools of 100
+        scorer = stub_scorer()
+        result = ProportionalMerger(eta=0.1, k=0.1).run(pairs, scorer)
+        expected = sum(
+            max(1, math.ceil(0.1 * p.n_bbox_pairs)) for p in pairs
+        )
+        assert result.iterations == expected
+        assert scorer.cost.n_distances == expected
+
+    def test_minimum_one_draw_per_pair(self):
+        pairs, _ = planted_pairs(track_len=3)
+        scorer = stub_scorer()
+        result = ProportionalMerger(eta=1e-6, k=0.1).run(pairs, scorer)
+        assert result.iterations == len(pairs)
+
+    def test_fresh_extraction_by_default(self):
+        pairs, _ = planted_pairs()
+        scorer = stub_scorer()
+        ProportionalMerger(eta=0.05, k=0.1).run(pairs, scorer)
+        # No cache reuse: two extractions per draw.
+        assert scorer.cost.n_extractions == 2 * scorer.cost.n_distances
+
+    def test_reuse_flag_uses_cache(self):
+        pairs, _ = planted_pairs()
+        scorer = stub_scorer()
+        ProportionalMerger(eta=0.3, k=0.1, reuse_features=True).run(
+            pairs, scorer
+        )
+        assert scorer.cost.n_extractions < 2 * scorer.cost.n_distances
+
+    def test_batched_charges_batched(self):
+        pairs, _ = planted_pairs()
+        scorer = stub_scorer()
+        ProportionalMerger(eta=0.05, k=0.1, batch_size=16).run(pairs, scorer)
+        assert scorer.cost.n_extractions == 0
+        assert scorer.cost.n_batched_extractions > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProportionalMerger(eta=0.0)
+        with pytest.raises(ValueError):
+            ProportionalMerger(eta=0.1, k=2.0)
+        with pytest.raises(ValueError):
+            ProportionalMerger(batch_size=0)
+
+    def test_name(self):
+        assert ProportionalMerger().name == "PS"
+        assert ProportionalMerger(batch_size=100).name == "PS-B100"
+
+
+class TestLcbMerger:
+    def test_finds_planted_pair(self):
+        pairs, planted = planted_pairs()
+        result = LcbMerger(tau_max=len(pairs) * 4, k=1.0 / len(pairs)).run(
+            pairs, stub_scorer()
+        )
+        assert result.candidates[0].key == planted
+
+    def test_explores_every_arm_first(self):
+        pairs, _ = planted_pairs()
+        scorer = stub_scorer()
+        result = LcbMerger(tau_max=len(pairs), k=0.1).run(pairs, scorer)
+        # With exactly |P_c| iterations and unpulled arms having -inf LCB,
+        # every arm is pulled exactly once.
+        assert result.extra["total_draws"] == len(pairs)
+        assert scorer.cost.n_distances == len(pairs)
+
+    def test_iteration_budget_respected(self):
+        pairs, _ = planted_pairs()
+        result = LcbMerger(tau_max=37, k=0.1).run(pairs, stub_scorer())
+        assert result.iterations == 37
+
+    def test_stops_when_all_exhausted(self):
+        pairs, _ = planted_pairs(n_distinct=3, track_len=2)
+        total = sum(p.n_bbox_pairs for p in pairs)
+        result = LcbMerger(tau_max=10 * total, k=0.5).run(
+            pairs, stub_scorer()
+        )
+        assert result.extra["total_draws"] == total
+
+    def test_fresh_extraction_by_default(self):
+        pairs, _ = planted_pairs()
+        scorer = stub_scorer()
+        LcbMerger(tau_max=50, k=0.1).run(pairs, scorer)
+        assert scorer.cost.n_extractions == 100
+
+    def test_batched_draws_from_single_arm(self):
+        pairs, _ = planted_pairs(track_len=8)
+        scorer = stub_scorer()
+        result = LcbMerger(tau_max=20, k=0.1, batch_size=5).run(pairs, scorer)
+        # 20 iterations x 5 draws each.
+        assert result.extra["total_draws"] == 100
+        assert scorer.cost.n_batched_extractions == 200
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LcbMerger(tau_max=0)
+        with pytest.raises(ValueError):
+            LcbMerger(k=-0.1)
+
+    def test_name(self):
+        assert LcbMerger().name == "LCB"
+        assert LcbMerger(batch_size=10).name == "LCB-B10"
+
+    def test_empty_pairs(self):
+        result = LcbMerger(tau_max=10, k=0.1).run([], stub_scorer())
+        assert result.candidates == []

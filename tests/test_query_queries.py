@@ -1,0 +1,148 @@
+"""Unit tests for repro.query.queries, engine and evaluation."""
+
+import pytest
+
+from helpers import make_track
+
+from repro.core.merge import merge_tracks
+from repro.metrics.matching import match_tracks_by_source
+from repro.query import (
+    CoOccurrenceQuery,
+    CountQuery,
+    QueryEngine,
+    TrackStore,
+    cooccurrence_query_recall,
+    count_query_recall,
+)
+
+
+class TestCountQuery:
+    def test_threshold(self):
+        store = TrackStore.from_presence(
+            {1: list(range(100)), 2: list(range(10))}
+        )
+        result = CountQuery(min_frames=50).evaluate(store)
+        assert result.qualifying == frozenset({1})
+        assert result.count == 1
+
+    def test_span_vs_count_semantics(self):
+        # Object present on 3 frames spread over 100.
+        store = TrackStore.from_presence({1: [0, 50, 99]})
+        assert CountQuery(min_frames=50, use_span=True).evaluate(store).count == 1
+        assert (
+            CountQuery(min_frames=50, use_span=False).evaluate(store).count == 0
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CountQuery(min_frames=0)
+
+
+class TestCoOccurrenceQuery:
+    def test_finds_joint_group(self):
+        presence = {
+            1: list(range(0, 100)),
+            2: list(range(10, 90)),
+            3: list(range(20, 95)),
+            4: list(range(200, 300)),  # never co-occurs
+        }
+        store = TrackStore.from_presence(presence)
+        result = CoOccurrenceQuery(group_size=3, min_frames=50).evaluate(store)
+        assert result.groups == frozenset({(1, 2, 3)})
+
+    def test_short_overlap_rejected(self):
+        presence = {
+            1: list(range(0, 60)),
+            2: list(range(0, 60)),
+            3: list(range(55, 120)),
+        }
+        store = TrackStore.from_presence(presence)
+        result = CoOccurrenceQuery(group_size=3, min_frames=50).evaluate(store)
+        assert result.groups == frozenset()
+
+    def test_pair_groups(self):
+        presence = {1: list(range(60)), 2: list(range(60))}
+        store = TrackStore.from_presence(presence)
+        result = CoOccurrenceQuery(group_size=2, min_frames=50).evaluate(store)
+        assert result.groups == frozenset({(1, 2)})
+
+    def test_gap_tolerance(self):
+        frames = [f for f in range(60) if f % 7 != 3]  # periodic misses
+        presence = {1: frames, 2: frames, 3: frames}
+        store = TrackStore.from_presence(presence)
+        strict = CoOccurrenceQuery(group_size=3, min_frames=50, max_gap=0)
+        lax = CoOccurrenceQuery(group_size=3, min_frames=50, max_gap=3)
+        assert strict.evaluate(store).groups == frozenset()
+        assert lax.evaluate(store).groups == frozenset({(1, 2, 3)})
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CoOccurrenceQuery(group_size=1)
+        with pytest.raises(ValueError):
+            CoOccurrenceQuery(max_gap=-1)
+
+
+class TestQueryEngine:
+    def test_dispatch(self):
+        engine = QueryEngine.from_presence({1: list(range(100))})
+        result = engine.run(CountQuery(min_frames=50))
+        assert result.count == 1
+
+    def test_from_tracks(self):
+        engine = QueryEngine.from_tracks([make_track(3, list(range(60)))])
+        assert engine.run(CountQuery(min_frames=50)).qualifying == frozenset(
+            {3}
+        )
+
+
+class TestQueryRecall:
+    def _fragmented_setup(self):
+        """GT object 7 spans 100 frames; the tracker splits it in half."""
+        from helpers import tiny_scene_config
+        import numpy as np
+        from repro.synth.motion import ConstantVelocity
+        from repro.synth.objects import GroundTruthObject, ObjectClass
+        from repro.synth.world import simulate_world
+
+        config = tiny_scene_config(
+            initial_objects=0, spawn_rate=0.0, n_static_occluders=0,
+            glare_rate=0.0,
+        )
+        obj = GroundTruthObject(
+            object_id=7,
+            object_class=ObjectClass.PERSON,
+            spawn_frame=0,
+            lifetime=100,
+            size=(40.0, 80.0),
+            motion=ConstantVelocity((200.0, 240.0), (0.0, 0.0)),
+            appearance=np.eye(config.appearance_dim)[0],
+        )
+        world = simulate_world(config, 100, seed=0, extra_objects=[obj])
+        first = make_track(0, list(range(0, 50)), source_id=7)
+        second = make_track(1, list(range(55, 100)), source_id=7)
+        return world, [first, second]
+
+    def test_count_recall_restored_by_merge(self):
+        world, tracks = self._fragmented_setup()
+        assignment = match_tracks_by_source(tracks)
+        query = CountQuery(min_frames=80)
+        assert count_query_recall(tracks, world, assignment, query) == 0.0
+        merged, id_map = merge_tracks(tracks, [(0, 1)])
+        merged_assignment = match_tracks_by_source(merged)
+        assert (
+            count_query_recall(merged, world, merged_assignment, query) == 1.0
+        )
+
+    def test_count_recall_no_reference_is_one(self):
+        world, tracks = self._fragmented_setup()
+        assignment = match_tracks_by_source(tracks)
+        query = CountQuery(min_frames=5000)
+        assert count_query_recall(tracks, world, assignment, query) == 1.0
+
+    def test_cooccurrence_recall_interface(self, world, tracks):
+        from repro.metrics.matching import match_tracks_to_gt
+
+        assignment = match_tracks_to_gt(tracks, world)
+        query = CoOccurrenceQuery(group_size=2, min_frames=30)
+        value = cooccurrence_query_recall(tracks, world, assignment, query)
+        assert 0.0 <= value <= 1.0

@@ -1,0 +1,90 @@
+"""Unit tests for repro.query.store."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from helpers import make_track
+
+from repro.query.store import TrackStore, longest_common_run
+
+
+class TestTrackStore:
+    def test_from_tracks_fills_gaps(self):
+        track = make_track(0, [0, 1, 5, 6])
+        store = TrackStore.from_tracks([track])
+        assert store.frames_of(0) == [0, 1, 2, 3, 4, 5, 6]
+
+    def test_from_tracks_no_fill(self):
+        track = make_track(0, [0, 1, 5, 6])
+        store = TrackStore.from_tracks([track], fill_gaps=False)
+        assert store.frames_of(0) == [0, 1, 5, 6]
+
+    def test_boxes_only_at_observed_frames(self):
+        track = make_track(0, [0, 3])
+        store = TrackStore.from_tracks([track])
+        assert (0, 0) in store.boxes
+        assert (0, 3) in store.boxes
+        assert (0, 1) not in store.boxes
+
+    def test_from_presence_sorts(self):
+        store = TrackStore.from_presence({7: [5, 1, 3]})
+        assert store.frames_of(7) == [1, 3, 5]
+
+    def test_span_and_count(self):
+        store = TrackStore.from_presence({1: [10, 12, 20]})
+        assert store.span_of(1) == 11
+        assert store.appearance_count(1) == 3
+        assert store.span_of(99) == 0
+
+    def test_present_in_range(self):
+        store = TrackStore.from_presence({1: [0, 5, 10, 15]})
+        assert store.present_in_range(1, 4, 11) == 2
+        assert store.present_in_range(1, 0, 100) == 4
+        assert store.present_in_range(1, 16, 20) == 0
+
+    def test_object_ids_sorted(self):
+        store = TrackStore.from_presence({5: [0], 1: [0], 3: [0]})
+        assert store.object_ids() == [1, 3, 5]
+
+
+class TestLongestCommonRun:
+    def test_full_overlap(self):
+        frames = [list(range(10)), list(range(10))]
+        assert longest_common_run(frames) == 10
+
+    def test_no_overlap(self):
+        assert longest_common_run([[0, 1], [5, 6]]) == 0
+
+    def test_partial(self):
+        assert longest_common_run([[0, 1, 2, 3], [2, 3, 4]]) == 2
+
+    def test_gap_breaks_run(self):
+        frames = [[0, 1, 2, 10, 11], [0, 1, 2, 10, 11]]
+        assert longest_common_run(frames, max_gap=0) == 3
+
+    def test_gap_tolerance_bridges(self):
+        frames = [[0, 1, 2, 5, 6], [0, 1, 2, 5, 6]]
+        assert longest_common_run(frames, max_gap=2) == 7
+
+    def test_empty_member(self):
+        assert longest_common_run([[0, 1], []]) == 0
+        assert longest_common_run([]) == 0
+
+    def test_three_way(self):
+        frames = [
+            list(range(0, 20)),
+            list(range(5, 25)),
+            list(range(8, 30)),
+        ]
+        assert longest_common_run(frames) == 12  # frames 8..19
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    frames=st.lists(
+        st.integers(0, 50), min_size=1, max_size=30, unique=True
+    ),
+)
+def test_single_object_run_bounded_by_span(frames):
+    run = longest_common_run([sorted(frames)], max_gap=0)
+    assert 1 <= run <= max(frames) - min(frames) + 1

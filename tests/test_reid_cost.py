@@ -1,0 +1,108 @@
+"""Unit tests for repro.reid.cost."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.reid import CostModel, CostParams
+
+
+class TestCostParams:
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CostParams(extract_ms=-1.0)
+        with pytest.raises(ValueError):
+            CostParams(distance_ms=-0.1)
+
+
+class TestCostModel:
+    def test_starts_at_zero(self):
+        cost = CostModel()
+        assert cost.seconds == 0.0
+        assert cost.n_extractions == 0
+
+    def test_extract_charges(self):
+        cost = CostModel(CostParams(extract_ms=5.0))
+        cost.charge_extract(10)
+        assert cost.milliseconds == pytest.approx(50.0)
+        assert cost.n_extractions == 10
+
+    def test_distance_charges(self):
+        cost = CostModel(CostParams(distance_ms=0.5))
+        cost.charge_distance(100)
+        assert cost.milliseconds == pytest.approx(50.0)
+        assert cost.n_distances == 100
+
+    def test_overhead_charges(self):
+        cost = CostModel(CostParams(overhead_ms=0.1))
+        cost.charge_overhead(10)
+        assert cost.milliseconds == pytest.approx(1.0)
+
+    def test_batched_amortization(self):
+        params = CostParams(batch_launch_ms=4.0, batch_item_ms=0.5)
+        cost = CostModel(params)
+        cost.charge_extract_batched(100, batch_size=20)
+        # 5 launches + 100 items
+        assert cost.milliseconds == pytest.approx(5 * 4.0 + 100 * 0.5)
+        assert cost.n_batch_calls == 5
+        assert cost.n_batched_extractions == 100
+
+    def test_batched_partial_batch(self):
+        cost = CostModel(CostParams(batch_launch_ms=4.0, batch_item_ms=0.5))
+        cost.charge_extract_batched(7, batch_size=20)
+        assert cost.n_batch_calls == 1
+        assert cost.milliseconds == pytest.approx(4.0 + 7 * 0.5)
+
+    def test_batched_cheaper_than_unbatched_at_scale(self):
+        params = CostParams()
+        single = CostModel(params)
+        single.charge_extract(1000)
+        batched = CostModel(params)
+        batched.charge_extract_batched(1000, batch_size=100)
+        assert batched.seconds < single.seconds
+
+    def test_batched_zero_count_free(self):
+        cost = CostModel()
+        cost.charge_extract_batched(0, batch_size=10)
+        assert cost.seconds == 0.0
+        assert cost.n_batch_calls == 0
+
+    def test_invalid_args(self):
+        cost = CostModel()
+        with pytest.raises(ValueError):
+            cost.charge_extract(-1)
+        with pytest.raises(ValueError):
+            cost.charge_extract_batched(5, batch_size=0)
+        with pytest.raises(ValueError):
+            cost.charge_distance(-2)
+
+    def test_reset(self):
+        cost = CostModel()
+        cost.charge_extract(5)
+        cost.charge_distance(5)
+        cost.reset()
+        assert cost.seconds == 0.0
+        assert cost.n_extractions == 0
+        assert cost.n_distances == 0
+
+    def test_snapshot_keys(self):
+        cost = CostModel()
+        cost.charge_extract(1)
+        snap = cost.snapshot()
+        assert set(snap) == {
+            "seconds",
+            "extractions",
+            "batched_extractions",
+            "batch_calls",
+            "distances",
+        }
+
+
+@given(
+    count=st.integers(0, 10_000),
+    batch=st.integers(1, 512),
+)
+def test_batch_call_count_is_ceiling(count, batch):
+    cost = CostModel()
+    cost.charge_extract_batched(count, batch_size=batch)
+    expected_calls = -(-count // batch) if count else 0
+    assert cost.n_batch_calls == expected_calls

@@ -1,0 +1,182 @@
+"""Unit tests for repro.reid.model (the simulated ReID network)."""
+
+import numpy as np
+import pytest
+
+from helpers import make_detection, tiny_world
+
+from repro.reid import ReidParams, SimReIDModel
+
+
+@pytest.fixture(scope="module")
+def reid_world():
+    return tiny_world(n_frames=60, seed=1)
+
+
+def detection_for(world, object_id, visibility=1.0):
+    obj = world.objects[object_id]
+    box = obj.bbox_at(obj.spawn_frame)
+    return make_detection(
+        box.x1, box.y1, box.width, box.height,
+        source_id=object_id, visibility=visibility,
+    )
+
+
+class TestReidParams:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReidParams(base_noise=-0.1)
+        with pytest.raises(ValueError):
+            ReidParams(outlier_prob=1.5)
+        with pytest.raises(ValueError):
+            ReidParams(dim=1)
+
+    def test_dim_mismatch_rejected(self, reid_world):
+        with pytest.raises(ValueError):
+            SimReIDModel(reid_world, params=ReidParams(dim=999))
+
+
+class TestFeatureGeometry:
+    def test_unit_norm(self, reid_world):
+        model = SimReIDModel(reid_world, seed=0)
+        oid = next(iter(reid_world.objects))
+        feature = model.extract(detection_for(reid_world, oid))
+        assert np.linalg.norm(feature) == pytest.approx(1.0)
+
+    def test_same_object_closer_than_different(self, reid_world):
+        model = SimReIDModel(reid_world, seed=0)
+        ids = list(reid_world.objects)[:2]
+        same, diff = [], []
+        for _ in range(40):
+            fa = model.extract(detection_for(reid_world, ids[0]))
+            fb = model.extract(detection_for(reid_world, ids[0]))
+            fc = model.extract(detection_for(reid_world, ids[1]))
+            same.append(np.linalg.norm(fa - fb))
+            diff.append(np.linalg.norm(fa - fc))
+        assert np.mean(same) < np.mean(diff)
+
+    def test_occlusion_increases_noise(self, reid_world):
+        params = ReidParams(
+            dim=reid_world.config.appearance_dim,
+            quality_sigma=0.0,
+            outlier_prob=0.0,
+            occlusion_outlier=0.0,
+            pose_scale=0.0,
+        )
+        model = SimReIDModel(reid_world, params=params, seed=0)
+        oid = next(iter(reid_world.objects))
+        latent = reid_world.objects[oid].appearance
+
+        def mean_error(visibility):
+            errors = []
+            for _ in range(50):
+                f = model.extract(
+                    detection_for(reid_world, oid, visibility=visibility)
+                )
+                errors.append(np.linalg.norm(f - latent))
+            return np.mean(errors)
+
+        assert mean_error(0.2) > mean_error(1.0)
+
+    def test_clutter_latent_is_stable(self, reid_world):
+        params = ReidParams(
+            dim=reid_world.config.appearance_dim,
+            base_noise=0.0, occlusion_noise=0.0, quality_sigma=0.0,
+            outlier_prob=0.0, occlusion_outlier=0.0, pose_scale=0.0,
+        )
+        model = SimReIDModel(reid_world, params=params, seed=0)
+        clutter = make_detection(33.0, 44.0, 20.0, 40.0, source_id=None)
+        f1 = model.extract(clutter)
+        f2 = model.extract(clutter)
+        assert np.allclose(f1, f2)
+
+    def test_distinct_clutter_gets_distinct_latents(self, reid_world):
+        params = ReidParams(
+            dim=reid_world.config.appearance_dim,
+            base_noise=0.0, occlusion_noise=0.0, quality_sigma=0.0,
+            outlier_prob=0.0, occlusion_outlier=0.0, pose_scale=0.0,
+        )
+        model = SimReIDModel(reid_world, params=params, seed=0)
+        f1 = model.extract(make_detection(10, 10, 20, 40, source_id=None))
+        f2 = model.extract(make_detection(300, 50, 20, 40, source_id=None))
+        assert np.linalg.norm(f1 - f2) > 0.5
+
+    def test_zero_noise_returns_latent(self, reid_world):
+        params = ReidParams(
+            dim=reid_world.config.appearance_dim,
+            base_noise=0.0, occlusion_noise=0.0, quality_sigma=0.0,
+            outlier_prob=0.0, occlusion_outlier=0.0, pose_scale=0.0,
+        )
+        model = SimReIDModel(reid_world, params=params, seed=0)
+        oid = next(iter(reid_world.objects))
+        f = model.extract(detection_for(reid_world, oid))
+        assert np.allclose(f, reid_world.objects[oid].appearance, atol=1e-9)
+
+    def test_pose_creates_per_draw_scatter(self, reid_world):
+        """With pose active, repeated same-object distances vary much more
+        than with isotropic noise alone (the low-dimensional displacement
+        does not concentrate)."""
+        oid = next(iter(reid_world.objects))
+
+        def draw_std(pose_scale):
+            params = ReidParams(
+                dim=reid_world.config.appearance_dim,
+                base_noise=0.1, occlusion_noise=0.0, quality_sigma=0.0,
+                outlier_prob=0.0, occlusion_outlier=0.0,
+                pose_scale=pose_scale,
+            )
+            model = SimReIDModel(reid_world, params=params, seed=0)
+            distances = []
+            for _ in range(80):
+                fa = model.extract(detection_for(reid_world, oid))
+                fb = model.extract(detection_for(reid_world, oid))
+                distances.append(np.linalg.norm(fa - fb))
+            return np.std(distances)
+
+        assert draw_std(0.8) > 2.0 * draw_std(0.0)
+
+    def test_outliers_produce_bimodal_distances(self, reid_world):
+        params = ReidParams(
+            dim=reid_world.config.appearance_dim,
+            base_noise=0.05, occlusion_noise=0.0, quality_sigma=0.0,
+            outlier_prob=0.3, occlusion_outlier=0.0, outlier_noise=2.0,
+            pose_scale=0.0,
+        )
+        model = SimReIDModel(reid_world, params=params, seed=0)
+        oid = next(iter(reid_world.objects))
+        distances = [
+            np.linalg.norm(
+                model.extract(detection_for(reid_world, oid))
+                - model.extract(detection_for(reid_world, oid))
+            )
+            for _ in range(120)
+        ]
+        distances = np.array(distances)
+        clean = (distances < 0.3).sum()
+        garbage = (distances > 0.8).sum()
+        assert clean > 20
+        assert garbage > 20
+
+
+class TestTrackerEmbedder:
+    def test_noisier_than_main_model(self, reid_world):
+        model = SimReIDModel(reid_world, seed=0)
+        embed = model.tracker_embedder(noise_multiplier=3.0)
+        oid = next(iter(reid_world.objects))
+        latent = reid_world.objects[oid].appearance
+        main_err = np.mean([
+            np.linalg.norm(model.extract(detection_for(reid_world, oid)) - latent)
+            for _ in range(40)
+        ])
+        embed_err = np.mean([
+            np.linalg.norm(embed(detection_for(reid_world, oid)) - latent)
+            for _ in range(40)
+        ])
+        assert embed_err > main_err
+
+    def test_embedder_unit_norm(self, reid_world):
+        model = SimReIDModel(reid_world, seed=0)
+        embed = model.tracker_embedder()
+        oid = next(iter(reid_world.objects))
+        f = embed(detection_for(reid_world, oid))
+        assert np.linalg.norm(f) == pytest.approx(1.0)

@@ -1,0 +1,187 @@
+"""Unit tests for repro.reid.scorer (caching, costs, batching)."""
+
+import numpy as np
+import pytest
+
+from helpers import make_track, tiny_world
+
+from repro.reid import (
+    CostModel,
+    CostParams,
+    FeatureCache,
+    ReidScorer,
+    SimReIDModel,
+    normalize_distance,
+)
+
+
+@pytest.fixture(scope="module")
+def scorer_world():
+    return tiny_world(n_frames=60, seed=2)
+
+
+def make_scorer(world, **cost_overrides):
+    params = CostParams(**cost_overrides) if cost_overrides else None
+    return ReidScorer(
+        SimReIDModel(world, seed=0), cost=CostModel(params)
+    )
+
+
+def tracks_for(world):
+    ids = list(world.objects)[:2]
+    return (
+        make_track(0, list(range(8)), source_id=ids[0]),
+        make_track(1, list(range(10, 18)), source_id=ids[1]),
+    )
+
+
+class TestNormalizeDistance:
+    def test_bounds(self):
+        assert normalize_distance(0.0) == 0.0
+        assert normalize_distance(2.0) == 1.0
+        assert normalize_distance(1.0) == 0.5
+
+    def test_clipping(self):
+        assert normalize_distance(5.0) == 1.0
+        assert normalize_distance(-1.0) == 0.0
+
+
+class TestFeatureCache:
+    def test_roundtrip(self):
+        cache = FeatureCache()
+        key = (1, 2)
+        assert key not in cache
+        cache.put(key, np.ones(4))
+        assert key in cache
+        assert len(cache) == 1
+        assert np.allclose(cache.get(key), 1.0)
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestCachingBehaviour:
+    def test_feature_extracted_once(self, scorer_world):
+        scorer = make_scorer(scorer_world)
+        track_a, _ = tracks_for(scorer_world)
+        f1 = scorer.feature(track_a, 0)
+        f2 = scorer.feature(track_a, 0)
+        assert np.allclose(f1, f2)
+        assert scorer.cost.n_extractions == 1
+
+    def test_distance_reuses_features(self, scorer_world):
+        scorer = make_scorer(scorer_world)
+        track_a, track_b = tracks_for(scorer_world)
+        scorer.distance(track_a, 0, track_b, 0)
+        assert scorer.cost.n_extractions == 2
+        scorer.distance(track_a, 0, track_b, 1)
+        # Only one new feature extracted.
+        assert scorer.cost.n_extractions == 3
+        assert scorer.cost.n_distances == 2
+
+    def test_distance_bounds(self, scorer_world):
+        scorer = make_scorer(scorer_world)
+        track_a, track_b = tracks_for(scorer_world)
+        d = scorer.distance(track_a, 0, track_b, 0)
+        assert 0.0 <= d <= 2.0
+        assert 0.0 <= scorer.normalized_distance(track_a, 1, track_b, 1) <= 1.0
+
+    def test_distance_fresh_always_extracts(self, scorer_world):
+        scorer = make_scorer(scorer_world)
+        track_a, track_b = tracks_for(scorer_world)
+        scorer.distance_fresh(track_a, 0, track_b, 0)
+        scorer.distance_fresh(track_a, 0, track_b, 0)
+        assert scorer.cost.n_extractions == 4
+        assert len(scorer.cache) == 0
+
+    def test_cache_shared_between_paths(self, scorer_world):
+        scorer = make_scorer(scorer_world)
+        track_a, track_b = tracks_for(scorer_world)
+        scorer.feature(track_a, 0)
+        matrix = scorer.pair_distance_matrix(track_a, track_b)
+        # 8 + 8 features total, one was already cached.
+        assert scorer.cost.n_extractions == 16 - 1 + 1
+
+
+class TestPairDistanceMatrix:
+    def test_matches_elementwise_distance(self, scorer_world):
+        scorer = make_scorer(scorer_world)
+        track_a, track_b = tracks_for(scorer_world)
+        matrix = scorer.pair_distance_matrix(track_a, track_b)
+        assert matrix.shape == (len(track_a), len(track_b))
+        # The same cached features drive the scalar path.
+        for i in (0, 3):
+            for j in (0, 5):
+                assert matrix[i, j] == pytest.approx(
+                    scorer.distance(track_a, i, track_b, j)
+                )
+
+    def test_cost_parity_with_scalar_path(self, scorer_world):
+        track_a, track_b = tracks_for(scorer_world)
+        bulk = make_scorer(scorer_world)
+        bulk.pair_distance_matrix(track_a, track_b)
+        scalar = make_scorer(scorer_world)
+        for i in range(len(track_a)):
+            for j in range(len(track_b)):
+                scalar.distance(track_a, i, track_b, j)
+        assert bulk.cost.n_extractions == scalar.cost.n_extractions
+        assert bulk.cost.n_distances == scalar.cost.n_distances
+
+    def test_batched_extraction_charged(self, scorer_world):
+        scorer = make_scorer(scorer_world)
+        track_a, track_b = tracks_for(scorer_world)
+        scorer.pair_distance_matrix(track_a, track_b, batch_size=4)
+        assert scorer.cost.n_extractions == 0
+        assert scorer.cost.n_batched_extractions == 16
+
+
+class TestBatchedDistances:
+    def test_results_match_scalar(self, scorer_world):
+        scorer = make_scorer(scorer_world)
+        track_a, track_b = tracks_for(scorer_world)
+        requests = [(track_a, i, track_b, i) for i in range(4)]
+        batched = scorer.distances_batched(requests, batch_size=2)
+        for (ta, ia, tb, ib), value in zip(requests, batched):
+            assert value == pytest.approx(scorer.distance(ta, ia, tb, ib))
+
+    def test_deduplicates_extractions(self, scorer_world):
+        scorer = make_scorer(scorer_world)
+        track_a, track_b = tracks_for(scorer_world)
+        requests = [
+            (track_a, 0, track_b, 0),
+            (track_a, 0, track_b, 1),
+            (track_a, 1, track_b, 0),
+        ]
+        scorer.distances_batched(requests, batch_size=10)
+        # 4 distinct features, not 6.
+        assert scorer.cost.n_batched_extractions == 4
+        assert scorer.cost.n_distances == 3
+
+    def test_fresh_variant_charges_everything(self, scorer_world):
+        scorer = make_scorer(scorer_world)
+        track_a, track_b = tracks_for(scorer_world)
+        requests = [(track_a, 0, track_b, 0), (track_a, 0, track_b, 1)]
+        scorer.distances_batched_fresh(requests, batch_size=10)
+        assert scorer.cost.n_batched_extractions == 4
+        assert len(scorer.cache) == 0
+
+    def test_empty_requests(self, scorer_world):
+        scorer = make_scorer(scorer_world)
+        assert scorer.distances_batched([], batch_size=5) == []
+        assert scorer.distances_batched_fresh([], batch_size=5) == []
+
+    def test_invalid_batch_size(self, scorer_world):
+        scorer = make_scorer(scorer_world)
+        track_a, track_b = tracks_for(scorer_world)
+        with pytest.raises(ValueError):
+            scorer.distances_batched(
+                [(track_a, 0, track_b, 0)], batch_size=0
+            )
+
+    def test_normalized_batched(self, scorer_world):
+        scorer = make_scorer(scorer_world)
+        track_a, track_b = tracks_for(scorer_world)
+        values = scorer.normalized_distances_batched(
+            [(track_a, 0, track_b, 0)], batch_size=1
+        )
+        assert len(values) == 1
+        assert 0.0 <= values[0] <= 1.0

@@ -1,0 +1,121 @@
+"""Unit tests for the sequence-input ReID scorer (footnote 2)."""
+
+import numpy as np
+import pytest
+
+from helpers import make_track, tiny_world
+
+from repro.reid import (
+    CostModel,
+    ReidScorer,
+    SequenceReidScorer,
+    SimReIDModel,
+)
+
+
+@pytest.fixture(scope="module")
+def seq_world():
+    return tiny_world(n_frames=60, seed=5)
+
+
+def make_seq_scorer(world, k=4):
+    return SequenceReidScorer(
+        SimReIDModel(world, seed=0), cost=CostModel(), snippet_length=k
+    )
+
+
+def seq_tracks(world):
+    ids = list(world.objects)[:2]
+    return (
+        make_track(0, list(range(10)), source_id=ids[0]),
+        make_track(1, list(range(20, 30)), source_id=ids[1]),
+    )
+
+
+class TestSequenceScorer:
+    def test_validation(self, seq_world):
+        with pytest.raises(ValueError):
+            make_seq_scorer(seq_world, k=0)
+
+    def test_length_one_matches_plain_scorer(self, seq_world):
+        track_a, track_b = seq_tracks(seq_world)
+        seq = make_seq_scorer(seq_world, k=1)
+        plain = ReidScorer(SimReIDModel(seq_world, seed=0), cost=CostModel())
+        assert seq.distance(track_a, 2, track_b, 3) == pytest.approx(
+            plain.distance(track_a, 2, track_b, 3)
+        )
+
+    def test_snippet_clamped_at_track_end(self, seq_world):
+        track_a, track_b = seq_tracks(seq_world)
+        scorer = make_seq_scorer(seq_world, k=4)
+        # Anchor at the last index still pools a full 4-crop snippet.
+        d = scorer.distance(track_a, len(track_a) - 1, track_b, 0)
+        assert 0.0 <= d <= 2.0
+        # Crops 6..9 of track_a were extracted.
+        assert (track_a.track_id, 9) in scorer.cache
+        assert (track_a.track_id, 6) in scorer.cache
+
+    def test_short_track_uses_whole_track(self, seq_world):
+        short = make_track(0, [0, 1], source_id=list(seq_world.objects)[0])
+        other = make_track(1, [5, 6], source_id=list(seq_world.objects)[1])
+        scorer = make_seq_scorer(seq_world, k=10)
+        d = scorer.distance(short, 0, other, 0)
+        assert 0.0 <= d <= 2.0
+
+    def test_charges_per_crop_with_caching(self, seq_world):
+        track_a, track_b = seq_tracks(seq_world)
+        scorer = make_seq_scorer(seq_world, k=4)
+        scorer.distance(track_a, 0, track_b, 0)
+        assert scorer.cost.n_extractions == 8
+        # Overlapping snippet reuses 3 cached crops per side.
+        scorer.distance(track_a, 1, track_b, 1)
+        assert scorer.cost.n_extractions == 10
+
+    def test_pooling_reduces_same_object_distance_variance(self, seq_world):
+        """Snippets of the same object vary less than single crops."""
+        oid = list(seq_world.objects)[0]
+        track_a = make_track(0, list(range(12)), source_id=oid)
+        track_b = make_track(1, list(range(20, 32)), source_id=oid)
+
+        def draw_std(k):
+            scorer = make_seq_scorer(seq_world, k=k)
+            rng = np.random.default_rng(0)
+            values = [
+                scorer.distance(
+                    track_a, int(rng.integers(0, 12)),
+                    track_b, int(rng.integers(0, 12)),
+                )
+                for _ in range(60)
+            ]
+            return np.std(values)
+
+        assert draw_std(6) < draw_std(1)
+
+    def test_batched_matches_scalar(self, seq_world):
+        track_a, track_b = seq_tracks(seq_world)
+        scorer = make_seq_scorer(seq_world, k=3)
+        requests = [(track_a, i, track_b, i) for i in range(4)]
+        batched = scorer.distances_batched(requests, batch_size=2)
+        for (ta, ia, tb, ib), value in zip(requests, batched):
+            assert value == pytest.approx(scorer.distance(ta, ia, tb, ib))
+
+    def test_batched_charges_batch_law(self, seq_world):
+        track_a, track_b = seq_tracks(seq_world)
+        scorer = make_seq_scorer(seq_world, k=3)
+        scorer.distances_batched([(track_a, 0, track_b, 0)], batch_size=5)
+        assert scorer.cost.n_extractions == 0
+        assert scorer.cost.n_batched_extractions == 6
+
+    def test_works_inside_tmerge(self, seq_world):
+        from repro.core import TMerge, build_track_pairs
+
+        ids = list(seq_world.objects)
+        tracks = [
+            make_track(0, list(range(8)), source_id=ids[0]),
+            make_track(1, list(range(20, 28)), source_id=ids[0]),
+            make_track(2, list(range(8)), source_id=ids[1]),
+        ]
+        pairs = build_track_pairs(tracks)
+        scorer = make_seq_scorer(seq_world, k=3)
+        result = TMerge(k=0.34, tau_max=200, seed=0).run(pairs, scorer)
+        assert result.candidates[0].key == (0, 1)

@@ -1,0 +1,64 @@
+"""Unit tests for repro.core.scores."""
+
+import numpy as np
+import pytest
+
+from helpers import make_track, stub_scorer
+
+from repro.core.pairs import TrackPair
+from repro.core.scores import (
+    PairScoreEstimate,
+    exact_normalized_score,
+    exact_pair_score,
+)
+
+
+class TestExactPairScore:
+    def test_same_source_zero(self):
+        pair = TrackPair(
+            make_track(0, [0, 1], source_id=5),
+            make_track(1, [10, 11], source_id=5),
+        )
+        assert exact_pair_score(pair, stub_scorer()) == pytest.approx(0.0, abs=1e-6)
+
+    def test_matches_manual_average(self):
+        pair = TrackPair(
+            make_track(0, [0, 1, 2], source_id=1),
+            make_track(1, [10, 11], source_id=2),
+        )
+        scorer = stub_scorer(noise=0.1, seed=3)
+        score = exact_pair_score(pair, scorer)
+        manual = np.mean(
+            [
+                scorer.distance(pair.track_a, ia, pair.track_b, ib)
+                for ia, ib in pair.all_bbox_index_pairs()
+            ]
+        )
+        assert score == pytest.approx(manual)
+
+    def test_normalized_in_unit_interval(self):
+        pair = TrackPair(
+            make_track(0, [0, 1], source_id=1),
+            make_track(1, [10, 11], source_id=2),
+        )
+        value = exact_normalized_score(pair, stub_scorer())
+        assert 0.0 <= value <= 1.0
+
+
+class TestPairScoreEstimate:
+    def test_initial_uninformative(self):
+        assert PairScoreEstimate().mean == 0.5
+
+    def test_running_mean(self):
+        est = PairScoreEstimate()
+        est.record(0.2)
+        est.record(0.4)
+        assert est.count == 2
+        assert est.mean == pytest.approx(0.3)
+
+    def test_range_validation(self):
+        est = PairScoreEstimate()
+        with pytest.raises(ValueError):
+            est.record(1.5)
+        with pytest.raises(ValueError):
+            est.record(-0.1)

@@ -1,0 +1,97 @@
+"""Unit tests for repro.synth.events."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import BBox
+from repro.synth.events import (
+    GlareInterval,
+    StaticOccluder,
+    glare_factor,
+    occlusion_fractions,
+    schedule_glare,
+)
+
+
+class TestStaticOccluder:
+    def test_full_coverage(self):
+        occluder = StaticOccluder(BBox(0, 0, 100, 100))
+        assert occluder.coverage(BBox(10, 10, 20, 20)) == pytest.approx(1.0)
+
+    def test_partial_coverage(self):
+        occluder = StaticOccluder(BBox(0, 0, 10, 10))
+        # Box half inside the occluder.
+        assert occluder.coverage(BBox(5, 0, 15, 10)) == pytest.approx(0.5)
+
+    def test_no_coverage(self):
+        occluder = StaticOccluder(BBox(0, 0, 10, 10))
+        assert occluder.coverage(BBox(20, 20, 30, 30)) == 0.0
+
+
+class TestGlare:
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            GlareInterval(10, 5, 0.5)
+        with pytest.raises(ValueError):
+            GlareInterval(0, 10, 1.5)
+
+    def test_active_at(self):
+        interval = GlareInterval(10, 20, 0.1)
+        assert interval.active_at(10)
+        assert interval.active_at(20)
+        assert not interval.active_at(21)
+
+    def test_factor_multiplies(self):
+        intervals = [GlareInterval(0, 10, 0.5), GlareInterval(5, 15, 0.4)]
+        assert glare_factor(7, intervals) == pytest.approx(0.2)
+        assert glare_factor(12, intervals) == pytest.approx(0.4)
+        assert glare_factor(20, intervals) == 1.0
+
+    def test_schedule_respects_rate_zero(self):
+        rng = np.random.default_rng(0)
+        assert schedule_glare(1000, 0.0, (5, 10), 0.1, rng) == []
+
+    def test_schedule_bounds(self):
+        rng = np.random.default_rng(1)
+        intervals = schedule_glare(500, 20.0, (5, 10), 0.1, rng)
+        assert intervals  # expected ~10 events
+        for interval in intervals:
+            assert 0 <= interval.start < 500
+            assert interval.end <= 499
+            assert interval.strength == 0.1
+
+    def test_schedule_invalid_duration(self):
+        rng = np.random.default_rng(2)
+        with pytest.raises(ValueError):
+            schedule_glare(100, 5.0, (10, 5), 0.1, rng)
+
+
+class TestOcclusionFractions:
+    def test_no_overlap_no_occlusion(self):
+        boxes = [BBox(0, 0, 10, 10), BBox(50, 50, 60, 60)]
+        assert occlusion_fractions(boxes, []) == [0.0, 0.0]
+
+    def test_closer_object_occludes_farther(self):
+        # Box B sits lower in the image (bigger y2) => closer => occludes A.
+        far = BBox(0, 0, 10, 10)
+        near = BBox(0, 5, 10, 15)
+        fractions = occlusion_fractions([far, near], [])
+        assert fractions[0] == pytest.approx(0.5)  # half of A hidden
+        assert fractions[1] == 0.0  # the closer object is unobstructed
+
+    def test_static_occluder_contributes(self):
+        boxes = [BBox(0, 0, 10, 10)]
+        occluders = [StaticOccluder(BBox(0, 0, 5, 10))]
+        assert occlusion_fractions(boxes, occluders) == [pytest.approx(0.5)]
+
+    def test_max_of_sources(self):
+        # Object occluded 50% by another object and 80% by an occluder:
+        # the larger value wins.
+        far = BBox(0, 0, 10, 10)
+        near = BBox(0, 5, 10, 15)
+        occluders = [StaticOccluder(BBox(0, 0, 8, 10))]
+        fractions = occlusion_fractions([far, near], occluders)
+        assert fractions[0] == pytest.approx(0.8)
+
+    def test_empty(self):
+        assert occlusion_fractions([], []) == []

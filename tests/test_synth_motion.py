@@ -1,0 +1,91 @@
+"""Unit tests for repro.synth.motion."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.synth.motion import ConstantVelocity, RandomWalk, WaypointPath
+
+
+class TestConstantVelocity:
+    def test_positions(self):
+        motion = ConstantVelocity((10.0, 20.0), (2.0, -1.0))
+        assert motion.position(0) == (10.0, 20.0)
+        assert motion.position(5) == (20.0, 15.0)
+
+    def test_zero_velocity(self):
+        motion = ConstantVelocity((3.0, 4.0), (0.0, 0.0))
+        assert motion.position(100) == (3.0, 4.0)
+
+
+class TestRandomWalk:
+    def test_generate_starts_at_start(self):
+        walk = RandomWalk.generate(
+            (5.0, 6.0), steps=50, rng=np.random.default_rng(0)
+        )
+        assert walk.position(0) == (5.0, 6.0)
+
+    def test_length_and_clamping(self):
+        walk = RandomWalk.generate(
+            (0.0, 0.0), steps=10, rng=np.random.default_rng(1)
+        )
+        assert len(walk.path) == 10
+        # Querying past the horizon holds the last position.
+        assert walk.position(100) == walk.path[-1]
+        # Negative steps clamp to the start.
+        assert walk.position(-5) == walk.path[0]
+
+    def test_reproducible_with_seed(self):
+        a = RandomWalk.generate((0, 0), 20, np.random.default_rng(42))
+        b = RandomWalk.generate((0, 0), 20, np.random.default_rng(42))
+        assert a.path == b.path
+
+    def test_step_scale_controls_spread(self):
+        slow = RandomWalk.generate(
+            (0, 0), 200, np.random.default_rng(3), step_scale=0.5
+        )
+        fast = RandomWalk.generate(
+            (0, 0), 200, np.random.default_rng(3), step_scale=10.0
+        )
+        def spread(walk):
+            xs = [p[0] for p in walk.path]
+            ys = [p[1] for p in walk.path]
+            return max(xs) - min(xs) + max(ys) - min(ys)
+        assert spread(fast) > spread(slow)
+
+    def test_invalid_steps(self):
+        with pytest.raises(ValueError):
+            RandomWalk.generate((0, 0), 0, np.random.default_rng(0))
+
+
+class TestWaypointPath:
+    def test_endpoint_interpolation(self):
+        path = WaypointPath(((0.0, 0.0), (10.0, 0.0)), speed=1.0)
+        assert path.position(0) == (0.0, 0.0)
+        assert path.position(5) == (5.0, 0.0)
+        assert path.position(10) == (10.0, 0.0)
+        # Past the last waypoint the object parks there.
+        assert path.position(50) == (10.0, 0.0)
+
+    def test_multi_segment(self):
+        path = WaypointPath(
+            ((0.0, 0.0), (3.0, 4.0), (3.0, 14.0)), speed=1.0
+        )
+        # First segment has length 5; position at step 5 is its end.
+        assert path.position(5) == pytest.approx((3.0, 4.0))
+        # Step 10 is 5 units into the second (vertical) segment.
+        assert path.position(10) == pytest.approx((3.0, 9.0))
+
+    def test_speed_scales_progress(self):
+        slow = WaypointPath(((0.0, 0.0), (100.0, 0.0)), speed=1.0)
+        fast = WaypointPath(((0.0, 0.0), (100.0, 0.0)), speed=4.0)
+        assert fast.position(10)[0] == pytest.approx(4 * slow.position(10)[0])
+
+    def test_requires_two_waypoints(self):
+        with pytest.raises(ValueError):
+            WaypointPath(((0.0, 0.0),), speed=1.0)
+
+    def test_requires_positive_speed(self):
+        with pytest.raises(ValueError):
+            WaypointPath(((0.0, 0.0), (1.0, 1.0)), speed=0.0)

@@ -1,0 +1,112 @@
+"""Unit tests for repro.synth.objects."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import BBox
+from repro.synth.motion import ConstantVelocity
+from repro.synth.objects import (
+    GroundTruthObject,
+    ObjectClass,
+    draw_appearance,
+    draw_clustered_appearance,
+)
+
+
+def _object(spawn=10, lifetime=20, size=(40.0, 80.0)):
+    return GroundTruthObject(
+        object_id=1,
+        object_class=ObjectClass.PERSON,
+        spawn_frame=spawn,
+        lifetime=lifetime,
+        size=size,
+        motion=ConstantVelocity((100.0, 100.0), (2.0, 0.0)),
+        appearance=np.ones(8) / np.sqrt(8),
+    )
+
+
+class TestGroundTruthObject:
+    def test_lifetime_window(self):
+        obj = _object(spawn=10, lifetime=20)
+        assert obj.last_frame == 29
+        assert obj.alive_at(10)
+        assert obj.alive_at(29)
+        assert not obj.alive_at(9)
+        assert not obj.alive_at(30)
+
+    def test_bbox_at_follows_motion(self):
+        obj = _object()
+        box0 = obj.bbox_at(10)
+        box5 = obj.bbox_at(15)
+        assert box5.center[0] - box0.center[0] == pytest.approx(10.0)
+        assert box0.width == pytest.approx(40.0)
+        assert box0.height == pytest.approx(80.0)
+
+    def test_bbox_at_dead_frame_raises(self):
+        obj = _object()
+        with pytest.raises(ValueError):
+            obj.bbox_at(5)
+
+    def test_invalid_lifetime(self):
+        with pytest.raises(ValueError):
+            _object(lifetime=0)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            _object(size=(0.0, 10.0))
+
+
+class TestDrawAppearance:
+    def test_unit_norm(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            vec = draw_appearance(32, 1.0, rng)
+            assert np.linalg.norm(vec) == pytest.approx(1.0)
+
+    def test_dimension(self):
+        vec = draw_appearance(16, 1.0, np.random.default_rng(1))
+        assert vec.shape == (16,)
+
+    def test_min_dimension(self):
+        with pytest.raises(ValueError):
+            draw_appearance(1, 1.0, np.random.default_rng(0))
+
+    def test_distinct_objects_far_apart(self):
+        rng = np.random.default_rng(2)
+        vecs = [draw_appearance(64, 1.0, rng) for _ in range(20)]
+        distances = [
+            np.linalg.norm(a - b)
+            for i, a in enumerate(vecs)
+            for b in vecs[i + 1:]
+        ]
+        # Random unit vectors in high dimensions are near-orthogonal.
+        assert min(distances) > 0.8
+
+
+class TestClusteredAppearance:
+    def test_unit_norm(self):
+        rng = np.random.default_rng(3)
+        center = draw_appearance(32, 1.0, rng)
+        vec = draw_clustered_appearance(center, 0.7, rng)
+        assert np.linalg.norm(vec) == pytest.approx(1.0)
+
+    def test_same_cluster_closer_than_cross_cluster(self):
+        rng = np.random.default_rng(4)
+        center_a = draw_appearance(64, 1.0, rng)
+        center_b = draw_appearance(64, 1.0, rng)
+        same = [draw_clustered_appearance(center_a, 0.5, rng) for _ in range(8)]
+        other = [draw_clustered_appearance(center_b, 0.5, rng) for _ in range(8)]
+        within = np.mean([
+            np.linalg.norm(a - b)
+            for i, a in enumerate(same) for b in same[i + 1:]
+        ])
+        across = np.mean([
+            np.linalg.norm(a - b) for a in same for b in other
+        ])
+        assert within < across
+
+    def test_spread_zero_returns_center_direction(self):
+        rng = np.random.default_rng(5)
+        center = draw_appearance(16, 1.0, rng)
+        vec = draw_clustered_appearance(center, 0.0, rng)
+        assert np.allclose(vec, center)

@@ -1,0 +1,82 @@
+"""Unit tests for repro.track.base data structures."""
+
+import pytest
+
+from helpers import make_detection, make_track
+
+from repro.track.base import Track, TrackObservation
+
+
+class TestTrack:
+    def test_append_increasing_frames(self):
+        track = Track(0)
+        track.append(3, make_detection())
+        track.append(5, make_detection())
+        assert track.frames == [3, 5]
+
+    def test_append_non_increasing_rejected(self):
+        track = Track(0)
+        track.append(3, make_detection())
+        with pytest.raises(ValueError):
+            track.append(3, make_detection())
+        with pytest.raises(ValueError):
+            track.append(2, make_detection())
+
+    def test_empty_track_properties_raise(self):
+        track = Track(0)
+        with pytest.raises(ValueError):
+            _ = track.first_frame
+        with pytest.raises(ValueError):
+            _ = track.last_frame
+
+    def test_len_and_bboxes(self):
+        track = make_track(0, [0, 1, 2])
+        assert len(track) == 3
+        assert len(track.bboxes) == 3
+
+    def test_dominant_source_majority(self):
+        track = Track(0)
+        track.append(0, make_detection(source_id=1))
+        track.append(1, make_detection(source_id=2))
+        track.append(2, make_detection(source_id=2))
+        assert track.dominant_source() == 2
+
+    def test_dominant_source_majority_clutter_is_none(self):
+        """Clutter participates in the vote: a mostly-false-positive track
+        has no credible GT identity."""
+        track = Track(0)
+        track.append(0, make_detection(source_id=None))
+        track.append(1, make_detection(source_id=None))
+        track.append(2, make_detection(source_id=4))
+        assert track.dominant_source() is None
+
+    def test_dominant_source_real_plurality_wins(self):
+        track = Track(0)
+        track.append(0, make_detection(source_id=None))
+        track.append(1, make_detection(source_id=4))
+        track.append(2, make_detection(source_id=4))
+        assert track.dominant_source() == 4
+
+    def test_dominant_source_all_clutter(self):
+        track = Track(0)
+        track.append(0, make_detection(source_id=None))
+        assert track.dominant_source() is None
+
+    def test_dominant_source_empty(self):
+        assert Track(0).dominant_source() is None
+
+    def test_overlaps_frames(self):
+        a = make_track(0, [0, 1, 2, 3])
+        b = make_track(1, [3, 4])
+        c = make_track(2, [10, 11])
+        assert a.overlaps_frames(b)
+        assert b.overlaps_frames(a)
+        assert not a.overlaps_frames(c)
+
+
+class TestTrackObservation:
+    def test_bbox_shortcut(self):
+        detection = make_detection(10, 20, 30, 40)
+        obs = TrackObservation(5, detection)
+        assert obs.bbox is detection.bbox
+        assert obs.frame == 5

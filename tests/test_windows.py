@@ -1,0 +1,111 @@
+"""Unit tests for repro.core.windows (§II partitioning)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from helpers import make_track
+
+from repro.core.windows import Window, WindowedTracks, partition_windows
+
+
+class TestWindow:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Window(0, 10, 10)
+
+    def test_ownership_region(self):
+        window = Window(0, 0, 100)
+        assert window.ownership_end == 50
+        assert window.owns_track(make_track(0, list(range(0, 10))))
+        assert window.owns_track(make_track(1, list(range(49, 60))))
+        assert not window.owns_track(make_track(2, list(range(50, 60))))
+
+
+class TestPartitionWindows:
+    def test_half_overlap(self):
+        windows = partition_windows(100, 40)
+        for earlier, later in zip(windows, windows[1:]):
+            assert later.start - earlier.start == 20
+            assert earlier.end - later.start == 20
+
+    def test_covers_all_frames(self):
+        windows = partition_windows(95, 40)
+        covered = set()
+        for window in windows:
+            covered |= set(range(window.start, min(window.end, 95)))
+        assert covered == set(range(95))
+
+    def test_single_window_video(self):
+        windows = partition_windows(10, 2000)
+        assert len(windows) == 1
+        assert windows[0].start == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            partition_windows(0, 40)
+        with pytest.raises(ValueError):
+            partition_windows(100, 1)
+
+    def test_indices_sequential(self):
+        windows = partition_windows(500, 100)
+        assert [w.index for w in windows] == list(range(len(windows)))
+
+
+class TestWindowedTracks:
+    def test_every_track_owned_once(self):
+        windows = partition_windows(200, 80)
+        tracks = [
+            make_track(i, list(range(start, start + 20)))
+            for i, start in enumerate(range(0, 180, 15))
+        ]
+        windowed = WindowedTracks.assign(tracks, windows)
+        total = sum(len(bucket) for bucket in windowed.assignments)
+        assert total == len(tracks)
+        # No track appears in two buckets.
+        seen = set()
+        for bucket in windowed.assignments:
+            for track in bucket:
+                assert track.track_id not in seen
+                seen.add(track.track_id)
+
+    def test_ownership_matches_first_frame(self):
+        windows = partition_windows(200, 80)
+        tracks = [make_track(0, list(range(45, 70)))]
+        windowed = WindowedTracks.assign(tracks, windows)
+        # First frame 45 lies in [40, 80) -> window index 1's first half.
+        assert windowed.tracks_of(1) == tracks
+
+    def test_previous_tracks(self):
+        windows = partition_windows(200, 80)
+        early = make_track(0, list(range(0, 20)))
+        late = make_track(1, list(range(45, 60)))
+        windowed = WindowedTracks.assign([early, late], windows)
+        assert windowed.previous_tracks_of(0) == []
+        assert windowed.previous_tracks_of(1) == [early]
+
+    def test_buckets_sorted_by_first_frame(self):
+        windows = partition_windows(100, 200)
+        tracks = [
+            make_track(0, list(range(30, 50))),
+            make_track(1, list(range(5, 25))),
+        ]
+        windowed = WindowedTracks.assign(tracks, windows)
+        bucket = windowed.tracks_of(0)
+        assert [t.track_id for t in bucket] == [1, 0]
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n_frames=st.integers(10, 2000),
+    window_length=st.integers(2, 500),
+    starts=st.lists(st.integers(0, 1900), min_size=1, max_size=30),
+)
+def test_assignment_total_property(n_frames, window_length, starts):
+    """Every track starting inside the video is owned by exactly one window."""
+    windows = partition_windows(n_frames, window_length)
+    tracks = [
+        make_track(i, [min(s, n_frames - 1), min(s, n_frames - 1) + 1])
+        for i, s in enumerate(starts)
+    ]
+    windowed = WindowedTracks.assign(tracks, windows)
+    assert sum(len(b) for b in windowed.assignments) == len(tracks)
