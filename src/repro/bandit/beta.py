@@ -35,6 +35,7 @@ class BetaPosterior:
 
     @property
     def variance(self) -> float:
+        """Posterior variance ``sf / ((s+f)^2 (s+f+1))``."""
         s, f = self.successes, self.failures
         total = s + f
         return (s * f) / (total * total * (total + 1.0))
@@ -58,4 +59,5 @@ class BetaPosterior:
         return float(rng.beta(self.successes, self.failures))
 
     def copy(self) -> "BetaPosterior":
+        """An independent copy of this posterior."""
         return BetaPosterior(self.successes, self.failures)

@@ -50,6 +50,7 @@ class GaussianPosterior:
         return float(rng.normal(self.mean, np.sqrt(self.variance)))
 
     def copy(self) -> "GaussianPosterior":
+        """An independent copy of this posterior."""
         return GaussianPosterior(
             self.mean, self.variance, self.obs_variance, self.observations
         )

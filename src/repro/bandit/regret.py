@@ -31,6 +31,7 @@ class RegretTracker:
 
     @property
     def rounds(self) -> int:
+        """Number of observations recorded so far."""
         return self._rounds
 
     @property

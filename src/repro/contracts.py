@@ -1,0 +1,214 @@
+"""Opt-in runtime contracts for the TMerge stack's numeric invariants.
+
+The linter (:mod:`repro.lint`) enforces *structural* invariants
+statically; this module enforces the *numeric* ones dynamically — but
+only when ``REPRO_CHECK_INVARIANTS=1`` is set in the environment, so
+benchmarks pay nothing.  The checked invariants, with their paper
+anchors:
+
+* Beta posterior parameters stay strictly positive (§IV posterior
+  update — ``Be(S, F)`` is undefined otherwise and ``rng.beta`` would
+  raise or return NaN).
+* Normalized ReID distances satisfy ``d̃ ∈ [0, 1]`` (Definition 3.1 —
+  the Bernoulli quantization ``P[success] = d̃`` needs a probability).
+* The candidate budget obeys ``0 ≤ ⌈K·|P_c|⌉ ≤ |P_c|``.
+* :class:`~repro.core.ulb.UlbPruner` keeps its accepted and rejected
+  sets disjoint and in range (Algorithm 4 — an arm cannot be both
+  certainly inside and certainly outside the top-K).
+* The window length satisfies ``L ≥ 2·L_max`` when a maximum track
+  length is declared (§II — guarantees a fragmented GT track cannot
+  out-span two consecutive windows).
+
+Call sites guard with ``if contracts.ENABLED:`` so the disabled path
+costs one attribute load; every check also early-returns when disabled,
+making stray unguarded calls harmless.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable
+
+import numpy as np
+
+#: Environment variable that switches the contract layer on.
+ENV_VAR = "REPRO_CHECK_INVARIANTS"
+
+_FALSY = frozenset({"", "0", "false", "False", "no", "off"})
+
+
+class ContractViolation(AssertionError):
+    """A runtime invariant of the TMerge stack was broken."""
+
+
+def _env_enabled() -> bool:
+    """Whether the environment requests contract checking."""
+    return os.environ.get(ENV_VAR, "") not in _FALSY
+
+
+#: Module-level switch, resolved once at import from :data:`ENV_VAR`.
+#: Tests flip it through :func:`set_enabled`.
+ENABLED: bool = _env_enabled()
+
+
+def enabled() -> bool:
+    """Whether contract checks are currently active."""
+    return ENABLED
+
+
+def set_enabled(flag: bool) -> bool:
+    """Set the contract switch; returns the previous value (for tests)."""
+    global ENABLED
+    previous = ENABLED
+    ENABLED = bool(flag)
+    return previous
+
+
+def refresh_from_env() -> bool:
+    """Re-read :data:`ENV_VAR` (after an ``os.environ`` change); returns
+    the new switch state."""
+    set_enabled(_env_enabled())
+    return ENABLED
+
+
+def check_beta_params(
+    successes: np.ndarray, failures: np.ndarray, where: str = "posterior"
+) -> None:
+    """Beta shape parameters must be strictly positive and finite.
+
+    Raises:
+        ContractViolation: when any ``S`` or ``F`` is ≤ 0, NaN or inf.
+    """
+    if not ENABLED:
+        return
+    successes = np.asarray(successes, dtype=np.float64)
+    failures = np.asarray(failures, dtype=np.float64)
+    if successes.shape != failures.shape:
+        raise ContractViolation(
+            f"{where}: successes shape {successes.shape} != failures "
+            f"shape {failures.shape}"
+        )
+    for label, params in (("successes", successes), ("failures", failures)):
+        if params.size and not np.all(np.isfinite(params) & (params > 0.0)):
+            bad = int(np.argmin(np.isfinite(params) & (params > 0.0)))
+            raise ContractViolation(
+                f"{where}: Beta {label} must be strictly positive and "
+                f"finite; index {bad} holds {params.flat[bad]!r}"
+            )
+
+
+def check_normalized_distance(
+    value: float | np.ndarray, where: str = "d_norm"
+) -> None:
+    """Normalized distances must lie in ``[0, 1]`` (Definition 3.1).
+
+    Raises:
+        ContractViolation: when any value is outside ``[0, 1]`` or NaN.
+    """
+    if not ENABLED:
+        return
+    values = np.asarray(value, dtype=np.float64)
+    inside = np.isfinite(values) & (values >= 0.0) & (values <= 1.0)
+    if values.size and not np.all(inside):
+        bad = int(np.argmin(inside))
+        raise ContractViolation(
+            f"{where}: normalized distance must be in [0, 1]; got "
+            f"{values.flat[bad]!r}"
+        )
+
+
+def check_top_k_budget(budget: int, n_pairs: int, where: str = "top_k") -> None:
+    """The candidate budget obeys ``0 ≤ budget ≤ n_pairs``.
+
+    Raises:
+        ContractViolation: when the budget is negative or exceeds the
+            pair count.
+    """
+    if not ENABLED:
+        return
+    if not 0 <= budget <= n_pairs:
+        raise ContractViolation(
+            f"{where}: candidate budget {budget} outside [0, {n_pairs}]"
+        )
+
+
+def check_ulb_partition(
+    accepted: Iterable[int],
+    rejected: Iterable[int],
+    n_arms: int,
+    where: str = "UlbPruner",
+) -> None:
+    """Accepted/rejected arm sets are disjoint subsets of the arm range.
+
+    Raises:
+        ContractViolation: on overlap or out-of-range arm indices.
+    """
+    if not ENABLED:
+        return
+    accepted = set(accepted)
+    rejected = set(rejected)
+    overlap = accepted & rejected
+    if overlap:
+        raise ContractViolation(
+            f"{where}: arms {sorted(overlap)} both accepted and rejected"
+        )
+    out_of_range = [
+        arm for arm in accepted | rejected if not 0 <= arm < n_arms
+    ]
+    if out_of_range:
+        raise ContractViolation(
+            f"{where}: arm indices {sorted(out_of_range)} outside "
+            f"[0, {n_arms})"
+        )
+
+
+def check_window_length(
+    window_length: int, l_max: int, where: str = "partition_windows"
+) -> None:
+    """The §II window constraint ``L ≥ 2·L_max``.
+
+    Raises:
+        ContractViolation: when windows are too short for the declared
+            maximum track length, so a fragmented GT track could span
+            more than two consecutive windows.
+    """
+    if not ENABLED:
+        return
+    if l_max < 1:
+        raise ContractViolation(f"{where}: l_max must be >= 1, got {l_max}")
+    if window_length < 2 * l_max:
+        raise ContractViolation(
+            f"{where}: window length {window_length} violates "
+            f"L >= 2*L_max = {2 * l_max}"
+        )
+
+
+def check_windows_partition(
+    windows: Iterable[object], n_frames: int, where: str = "windows"
+) -> None:
+    """Window ownership regions tile ``[0, n_frames)`` exactly once.
+
+    Every frame must fall in exactly one window's first half (the
+    region that owns new tracks), which is what makes Eq. 1's pair sets
+    consider every unordered track pair exactly once.
+
+    Raises:
+        ContractViolation: on gaps or overlaps in the ownership tiling.
+    """
+    if not ENABLED:
+        return
+    cursor = 0
+    for window in windows:
+        start = window.start  # type: ignore[attr-defined]
+        ownership_end = window.ownership_end  # type: ignore[attr-defined]
+        if start != cursor:
+            raise ContractViolation(
+                f"{where}: window {window.index} ownership starts at "  # type: ignore[attr-defined]
+                f"{start}, expected {cursor}"
+            )
+        cursor = ownership_end
+    if cursor < n_frames:
+        raise ContractViolation(
+            f"{where}: ownership tiling ends at {cursor}, leaving frames "
+            f"up to {n_frames} unowned"
+        )

@@ -33,6 +33,7 @@ class BaselineMerger:
 
     @property
     def name(self) -> str:
+        """Algorithm display name (``BL`` / ``BL-B<size>``)."""
         return "BL" if self.batch_size is None else f"BL-B{self.batch_size}"
 
     def run(self, pairs: list[TrackPair], scorer: ReidScorer) -> MergeResult:

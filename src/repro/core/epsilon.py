@@ -46,6 +46,7 @@ class EpsilonGreedyMerger:
 
     @property
     def name(self) -> str:
+        """Algorithm display name (``EpsGreedy(eps)``)."""
         return f"EpsGreedy({self.epsilon:g})"
 
     def run(self, pairs: list[TrackPair], scorer: ReidScorer) -> MergeResult:

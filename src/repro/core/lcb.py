@@ -55,6 +55,7 @@ class LcbMerger:
 
     @property
     def name(self) -> str:
+        """Algorithm display name (``LCB`` / ``LCB-B<size>``)."""
         return "LCB" if self.batch_size is None else f"LCB-B{self.batch_size}"
 
     def run(self, pairs: list[TrackPair], scorer: ReidScorer) -> MergeResult:

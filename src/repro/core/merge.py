@@ -24,6 +24,7 @@ class UnionFind:
             self.add(element)
 
     def add(self, element: int) -> None:
+        """Register ``element`` as its own singleton set if unseen."""
         if element not in self._parent:
             self._parent[element] = element
             self._size[element] = 1
@@ -51,6 +52,7 @@ class UnionFind:
         return ra
 
     def connected(self, a: int, b: int) -> bool:
+        """Whether ``a`` and ``b`` are in the same set."""
         return self.find(a) == self.find(b)
 
     def components(self) -> dict[int, list[int]]:

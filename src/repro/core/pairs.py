@@ -79,6 +79,7 @@ class TrackPair:
 
     @property
     def spatial_distance(self) -> float:
+        """The pair's ``DisS`` (Algorithm 3's prior signal)."""
         return spatial_distance(self.track_a, self.track_b)
 
     def all_bbox_index_pairs(self) -> list[tuple[int, int]]:

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Protocol
 
+from repro import contracts
 from repro.core.merge import merge_tracks
 from repro.core.pairs import TrackPair, build_track_pairs
 from repro.core.results import MergeResult
@@ -95,6 +96,9 @@ class IngestionPipeline:
             (confidently-similar pairs); the remaining candidates are still
             reported for the paper's optional human inspection.  ``None``
             merges every returned candidate.
+        l_max: optional declared maximum track length ``L_max``; when set
+            and contracts are enabled (``REPRO_CHECK_INVARIANTS=1``), the
+            §II constraint ``window_length ≥ 2·l_max`` is enforced.
     """
 
     tracker: Tracker
@@ -105,6 +109,7 @@ class IngestionPipeline:
     reid_seed: int = 1
     detector_seed: int = 2
     merge_score_threshold: float | None = None
+    l_max: int | None = None
 
     def run(self, world: VideoGroundTruth) -> IngestionResult:
         """Ingest one video end to end."""
@@ -124,7 +129,9 @@ class IngestionPipeline:
         model = SimReIDModel(world, seed=self.reid_seed)
         scorer = ReidScorer(model, cost=cost)
 
-        windows = partition_windows(world.n_frames, self.window_length)
+        windows = partition_windows(
+            world.n_frames, self.window_length, l_max=self.l_max
+        )
         windowed = WindowedTracks.assign(tracks, windows)
 
         window_pairs: list[list[TrackPair]] = []
@@ -135,7 +142,14 @@ class IngestionPipeline:
             )
             window_pairs.append(pairs)
             if pairs:
-                window_results.append(self.merger.run(pairs, scorer))
+                result = self.merger.run(pairs, scorer)
+                if contracts.ENABLED:
+                    contracts.check_top_k_budget(
+                        len(result.candidates),
+                        len(pairs),
+                        where="IngestionPipeline",
+                    )
+                window_results.append(result)
             else:
                 window_results.append(
                     MergeResult(

@@ -54,6 +54,7 @@ class ProportionalMerger:
 
     @property
     def name(self) -> str:
+        """Algorithm display name (``PS`` / ``PS-B<size>``)."""
         return "PS" if self.batch_size is None else f"PS-B{self.batch_size}"
 
     def _sample_counts(self, pair: TrackPair) -> int:

@@ -42,6 +42,7 @@ class MergeResult:
 
     @property
     def candidate_keys(self) -> set[PairKey]:
+        """Keys of the returned candidate pairs."""
         return {pair.key for pair in self.candidates}
 
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import contracts
 from repro.bandit.regret import RegretTracker
 from repro.core.beta_init import beta_init
 from repro.core.pairs import TrackPair
@@ -23,6 +24,25 @@ from repro.core.ulb import UlbPruner
 from repro.reid import ReidScorer, normalize_distance
 
 _POSTERIORS = ("beta", "gaussian")
+
+#: Gaussian-posterior prior variance.  0.25 is the largest variance any
+#: [0, 1]-supported distribution can have (a fair coin's), so the prior is
+#: maximally non-committal about d̃ while staying on the unit interval.
+GAUSS_PRIOR_VAR = 0.25
+
+#: Gaussian observation-noise variance.  Matches the empirical spread of
+#: normalized ReID distances around their per-pair mean (std ≈ 0.22 on the
+#: simulated model), so posterior contraction tracks real information gain.
+GAUSS_OBS_VAR = 0.05
+
+#: Prior mean for spatially-close pairs.  Mirrors BetaInit's ``Be(1, 2)``
+#: prior (mean 1/3): pairs whose ``DisS < thr_S`` start biased toward
+#: "looks similar", exactly as in the Beta parameterization (§IV-C).
+GAUSS_PRIOR_MEAN_CLOSE = 1.0 / 3.0
+
+#: Prior mean for all other pairs.  Mirrors the uniform ``Be(1, 1)`` prior
+#: (mean 1/2) used when BetaInit gives no spatial signal.
+GAUSS_PRIOR_MEAN_DEFAULT = 0.5
 
 
 class TMerge:
@@ -72,6 +92,10 @@ class TMerge:
             raise ValueError(f"posterior must be one of {_POSTERIORS}")
         if ulb_interval < 1:
             raise ValueError("ulb_interval must be >= 1")
+        if ulb_scale <= 0:
+            raise ValueError("ulb_scale must be positive")
+        if thr_s is not None and thr_s < 0:
+            raise ValueError("thr_s must be non-negative")
         self.k = k
         self.tau_max = tau_max
         self.thr_s = thr_s
@@ -85,6 +109,7 @@ class TMerge:
 
     @property
     def name(self) -> str:
+        """Display name (``TMerge``, ``TMerge-G``, with ``-B<size>``)."""
         base = "TMerge"
         if self.posterior == "gaussian":
             base = "TMerge-G"
@@ -101,10 +126,17 @@ class TMerge:
         budget = top_k_count(n, self.k)
 
         successes, failures = beta_init(pairs, self.thr_s)
+        if contracts.ENABLED:
+            contracts.check_top_k_budget(budget, n, where="TMerge.run")
+            contracts.check_beta_params(
+                successes, failures, where="TMerge.beta_init"
+            )
         # Gaussian-posterior state (only used when posterior == "gaussian").
-        gauss_mean = np.where(failures > 1.0, 1.0 / 3.0, 0.5)
-        gauss_var = np.full(n, 0.25)
-        obs_var = 0.05
+        gauss_mean = np.where(
+            failures > 1.0, GAUSS_PRIOR_MEAN_CLOSE, GAUSS_PRIOR_MEAN_DEFAULT
+        )
+        gauss_var = np.full(n, GAUSS_PRIOR_VAR)
+        obs_var = GAUSS_OBS_VAR
 
         sums = np.zeros(n)
         counts = np.zeros(n, dtype=np.int64)
@@ -128,6 +160,10 @@ class TMerge:
             observations = self._evaluate(pairs, selected, scorer, rng)
 
             for arm, d_norm in observations:
+                if contracts.ENABLED:
+                    contracts.check_normalized_distance(
+                        d_norm, where="TMerge.run"
+                    )
                 if regret is not None:
                     regret.record(d_norm)
                 sums[arm] += d_norm
@@ -156,6 +192,10 @@ class TMerge:
                 accepted, rejected = pruner.update(means, counts, tau)
                 for arm in accepted | rejected:
                     eligible[arm] = False
+                if contracts.ENABLED:
+                    contracts.check_ulb_partition(
+                        pruner.accepted, pruner.rejected, n, where="TMerge.run"
+                    )
 
         return self._finalize(
             pairs,

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import contracts
 from repro.bandit.confidence import hoeffding_radius
 
 
@@ -117,4 +118,8 @@ class UlbPruner:
 
         self.accepted |= newly_accepted
         self.rejected |= newly_rejected
+        if contracts.ENABLED:
+            contracts.check_ulb_partition(
+                self.accepted, self.rejected, self.n_arms, where="UlbPruner"
+            )
         return newly_accepted, newly_rejected

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import contracts
 from repro.track.base import Track
 
 
@@ -36,6 +37,7 @@ class Window:
 
     @property
     def length(self) -> int:
+        """Window length ``L`` in frames."""
         return self.end - self.start
 
     @property
@@ -49,7 +51,9 @@ class Window:
         return self.start <= track.first_frame < self.ownership_end
 
 
-def partition_windows(n_frames: int, window_length: int) -> list[Window]:
+def partition_windows(
+    n_frames: int, window_length: int, l_max: int | None = None
+) -> list[Window]:
     """Cut ``n_frames`` into half-overlapping windows of ``window_length``.
 
     Consecutive windows advance by ``window_length // 2``.  The final window
@@ -60,11 +64,18 @@ def partition_windows(n_frames: int, window_length: int) -> list[Window]:
         n_frames: total video length.
         window_length: the paper's ``L`` (must be ≥ 2 so halves are
             non-empty).
+        l_max: optional declared maximum track length ``L_max``; when
+            given and :data:`repro.contracts.ENABLED` is set, the §II
+            constraint ``L ≥ 2·L_max`` is contract-checked.
     """
     if n_frames < 1:
         raise ValueError("n_frames must be >= 1")
     if window_length < 2:
         raise ValueError("window_length must be >= 2")
+    if contracts.ENABLED and l_max is not None:
+        contracts.check_window_length(
+            window_length, l_max, where="partition_windows"
+        )
     stride = window_length // 2
     windows = []
     start = 0
@@ -73,6 +84,10 @@ def partition_windows(n_frames: int, window_length: int) -> list[Window]:
         windows.append(Window(index, start, start + window_length))
         start += stride
         index += 1
+    if contracts.ENABLED:
+        contracts.check_windows_partition(
+            windows, n_frames, where="partition_windows"
+        )
     return windows
 
 

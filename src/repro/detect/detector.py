@@ -38,6 +38,7 @@ class Detection:
 
     @property
     def is_clutter(self) -> bool:
+        """True for false-positive detections with no source object."""
         return self.source_id is None
 
 

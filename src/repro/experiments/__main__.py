@@ -40,6 +40,7 @@ def _mot17(n_videos: int):
 
 
 def run_fig3(args) -> str:
+    """Render the Figure 3 (REC@K) table."""
     curves = figures.fig3_rec_k(_datasets(args.videos))
     rows = [
         [dataset, k, rec]
@@ -50,6 +51,7 @@ def run_fig3(args) -> str:
 
 
 def run_fig4(args) -> str:
+    """Render the Figure 4 (runtime scaling) table."""
     rows = figures.fig4_runtime_scaling()
     return format_table(
         ["frames", "pairs", "BL seconds"],
@@ -59,6 +61,7 @@ def run_fig4(args) -> str:
 
 
 def run_fig5(args) -> str:
+    """Render the Figure 5 (REC vs FPS) table."""
     results = figures.fig5_rec_fps(_datasets(args.videos))
     rows = [
         [dataset, method, p.parameter, p.rec, p.fps]
@@ -78,6 +81,7 @@ def run_fig5(args) -> str:
 
 
 def run_fig6(args) -> str:
+    """Render the Figure 6 (batched variants) table."""
     results = figures.fig6_batched(_mot17(args.videos))
     rows = [
         [method, p.parameter, p.rec, p.fps]
@@ -92,6 +96,7 @@ def run_fig6(args) -> str:
 
 
 def run_fig7(args) -> str:
+    """Render the Figure 7 (tau_max sweep) table."""
     rows = figures.fig7_tau_sweep(_mot17(args.videos))
     return format_table(
         ["tau_max", "seconds", "REC"],
@@ -101,6 +106,7 @@ def run_fig7(args) -> str:
 
 
 def run_fig8(args) -> str:
+    """Render the Figure 8 (ablation) table."""
     results = figures.fig8_ablation(_mot17(args.videos))
     rows = [
         [variant, p.parameter, p.rec, p.fps]
@@ -113,6 +119,7 @@ def run_fig8(args) -> str:
 
 
 def run_fig9(args) -> str:
+    """Render the Figure 9 (window length) table."""
     rows = figures.fig9_window_length(n_videos=args.videos, n_frames=1600)
     return format_table(
         ["L", "REC (BL)", "REC (TMerge)"],
@@ -122,6 +129,7 @@ def run_fig9(args) -> str:
 
 
 def run_fig10(args) -> str:
+    """Render the Figure 10 (thr_S sweep) table."""
     results = figures.fig10_thr_s(_mot17(args.videos))
     rows = [
         [label, p.parameter, p.rec, p.fps]
@@ -134,6 +142,7 @@ def run_fig10(args) -> str:
 
 
 def run_fig11(args) -> str:
+    """Render the Figure 11 (polyonymous rate) table."""
     rows = figures.fig11_polyonymous_rate(n_videos=args.videos)
     return format_table(
         ["tracker", "rate w/o", "rate w/"],
@@ -143,6 +152,7 @@ def run_fig11(args) -> str:
 
 
 def run_fig12(args) -> str:
+    """Render the Figure 12 (identity metrics) table."""
     rows = figures.fig12_identity_metrics(n_videos=args.videos)
     return format_table(
         ["metric", "w/o TMerge", "w/ TMerge"],
@@ -152,6 +162,7 @@ def run_fig12(args) -> str:
 
 
 def run_fig13(args) -> str:
+    """Render the Figure 13 (query recall) table."""
     rows = figures.fig13_query_recall(n_videos=args.videos)
     return format_table(
         ["query", "w/o TMerge", "w/ TMerge"],
@@ -176,6 +187,7 @@ _RUNNERS = {
 
 
 def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate a paper figure at laptop scale.",

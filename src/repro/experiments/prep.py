@@ -47,6 +47,7 @@ class PreparedVideo:
 
     @property
     def n_frames(self) -> int:
+        """Total frames in the prepared video."""
         return self.world.n_frames
 
     def reset_sampling(self) -> None:
@@ -56,6 +57,7 @@ class PreparedVideo:
                 pair.reset_sampling()
 
     def all_gt_keys(self) -> set[PairKey]:
+        """Union of GT polyonymous pair keys across all windows."""
         keys: set[PairKey] = set()
         for gt in self.window_gt:
             keys |= gt

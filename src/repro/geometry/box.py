@@ -50,14 +50,17 @@ class BBox:
 
     @property
     def width(self) -> float:
+        """Box width ``x2 - x1``."""
         return self.x2 - self.x1
 
     @property
     def height(self) -> float:
+        """Box height ``y2 - y1``."""
         return self.y2 - self.y1
 
     @property
     def area(self) -> float:
+        """Box area ``width * height``."""
         return self.width * self.height
 
     @property
@@ -73,9 +76,11 @@ class BBox:
         return self.width / self.height
 
     def to_tlwh(self) -> tuple[float, float, float, float]:
+        """As an ``(x, y, w, h)`` top-left/size tuple."""
         return (self.x1, self.y1, self.width, self.height)
 
     def to_xyxy(self) -> tuple[float, float, float, float]:
+        """As an ``(x1, y1, x2, y2)`` corner tuple."""
         return (self.x1, self.y1, self.x2, self.y2)
 
     def translated(self, dx: float, dy: float) -> "BBox":
@@ -100,6 +105,7 @@ class BBox:
         return BBox(x1, y1, x2, y2)
 
     def contains_point(self, x: float, y: float) -> bool:
+        """Whether ``(x, y)`` lies inside the box (inclusive)."""
         return self.x1 <= x <= self.x2 and self.y1 <= y <= self.y2
 
 

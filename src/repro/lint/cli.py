@@ -1,0 +1,86 @@
+"""Command-line entry point: ``python -m repro.lint <paths...>``.
+
+Exit status is 0 when every file is clean, 1 when violations (or parse
+errors) were found, and 2 on usage errors such as an unknown rule id.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+from repro.lint.engine import lint_paths
+from repro.lint.rules import ALL_RULES, RULES_BY_ID
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro.lint`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "Repo-specific AST linter enforcing the TMerge stack's "
+            "invariants (reproducible randomness, simulated-cost purity, "
+            "well-formed public API)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests", "benchmarks"],
+        help="files or directories to lint (default: src tests benchmarks)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all rules)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule id, title and rationale, then exit",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-violation lines; print only the summary",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Run the linter; return the process exit status."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.rule_id}  {rule.title}")
+            print(f"    {rule.rationale}")
+        return 0
+
+    if args.select:
+        wanted = [part.strip() for part in args.select.split(",") if part.strip()]
+        unknown = [rule_id for rule_id in wanted if rule_id not in RULES_BY_ID]
+        if unknown:
+            parser.error(f"unknown rule id(s): {', '.join(unknown)}")
+        rules = [RULES_BY_ID[rule_id] for rule_id in wanted]
+    else:
+        rules = list(ALL_RULES)
+
+    report = lint_paths(args.paths, rules=rules)
+
+    if not args.quiet:
+        for path, message in report.parse_errors:
+            print(f"{path}: parse error: {message}")
+        for violation in report.violations:
+            print(violation.render())
+
+    n_problems = len(report.violations) + len(report.parse_errors)
+    if n_problems:
+        print(
+            f"{n_problems} problem(s) in {report.files_checked} file(s) "
+            f"({len(rules)} rule(s))"
+        )
+        return 1
+    print(f"clean: {report.files_checked} file(s), {len(rules)} rule(s)")
+    return 0

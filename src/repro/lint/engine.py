@@ -1,0 +1,124 @@
+"""File discovery and rule execution.
+
+The engine walks the paths given on the command line, parses every
+``*.py`` file with the stdlib :mod:`ast`, classifies it into a
+:class:`~repro.lint.base.FileContext`, and runs every applicable rule.
+Paths are reported relative to the invocation root so diagnostics are
+stable across machines.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.lint.base import LintReport, Rule, Violation, context_for_path
+from repro.lint.rules import ALL_RULES
+
+#: Directory basenames never descended into.
+SKIP_DIRS = frozenset(
+    {
+        "__pycache__",
+        ".git",
+        ".hg",
+        ".mypy_cache",
+        ".pytest_cache",
+        ".ruff_cache",
+        ".venv",
+        "venv",
+        "build",
+        "dist",
+        "node_modules",
+    }
+)
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Yield every ``*.py`` file under ``paths``, depth-first and sorted.
+
+    Files are yielded once even when the given paths overlap; hidden and
+    cache directories (see :data:`SKIP_DIRS`) are skipped.
+    """
+    seen: set[Path] = set()
+    for raw in paths:
+        root = Path(raw)
+        if root.is_file():
+            resolved = root.resolve()
+            if root.suffix == ".py" and resolved not in seen:
+                seen.add(resolved)
+                yield root
+            continue
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames[:] = sorted(
+                d
+                for d in dirnames
+                if d not in SKIP_DIRS and not d.startswith(".")
+            )
+            for filename in sorted(filenames):
+                if not filename.endswith(".py"):
+                    continue
+                path = Path(dirpath) / filename
+                resolved = path.resolve()
+                if resolved in seen:
+                    continue
+                seen.add(resolved)
+                yield path
+
+
+def display_path(path: Path) -> str:
+    """``path`` relative to the current directory when possible, POSIX-style."""
+    try:
+        rel = path.resolve().relative_to(Path.cwd().resolve())
+        return rel.as_posix()
+    except ValueError:
+        return Path(path).as_posix()
+
+
+def lint_source(
+    source: str,
+    virtual_path: str,
+    rules: Sequence[Rule] | None = None,
+) -> list[Violation]:
+    """Lint an in-memory snippet as if it lived at ``virtual_path``.
+
+    This is the fixture entry point: rule tests lint each rule's
+    ``violating_example``/``clean_example`` under the rule's
+    ``example_path`` so scoped rules fire exactly as they would on disk.
+
+    Raises:
+        SyntaxError: when ``source`` does not parse.
+    """
+    tree = ast.parse(source, filename=virtual_path)
+    ctx = context_for_path(virtual_path)
+    violations: list[Violation] = []
+    for rule in rules if rules is not None else ALL_RULES:
+        if rule.applies_to(ctx):
+            violations.extend(rule.check(tree, ctx))
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
+    return violations
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    rules: Sequence[Rule] | None = None,
+) -> LintReport:
+    """Lint every Python file under ``paths`` and aggregate a report."""
+    active = list(rules) if rules is not None else list(ALL_RULES)
+    report = LintReport()
+    for path in iter_python_files(paths):
+        shown = display_path(path)
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=shown)
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            report.parse_errors.append((shown, str(exc)))
+            continue
+        report.files_checked += 1
+        ctx = context_for_path(shown)
+        for rule in active:
+            if rule.applies_to(ctx):
+                report.violations.extend(rule.check(tree, ctx))
+    report.violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
+    return report

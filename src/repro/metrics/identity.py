@@ -35,16 +35,19 @@ class IdentityResult:
 
     @property
     def idp(self) -> float:
+        """Identification precision ``IDTP / (IDTP + IDFP)``."""
         denom = self.idtp + self.idfp
         return self.idtp / denom if denom else 1.0
 
     @property
     def idr(self) -> float:
+        """Identification recall ``IDTP / (IDTP + IDFN)``."""
         denom = self.idtp + self.idfn
         return self.idtp / denom if denom else 1.0
 
     @property
     def idf1(self) -> float:
+        """The IDF1 score (harmonic mean of IDP and IDR)."""
         denom = 2 * self.idtp + self.idfp + self.idfn
         return 2 * self.idtp / denom if denom else 1.0
 

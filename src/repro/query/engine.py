@@ -19,7 +19,7 @@ from repro.track.base import Track
 class Query(Protocol):
     """Any evaluable query object."""
 
-    def evaluate(self, store: TrackStore): ...
+    def evaluate(self, store: TrackStore) -> object: ...
 
 
 class QueryEngine:
@@ -30,12 +30,14 @@ class QueryEngine:
 
     @classmethod
     def from_tracks(cls, tracks: list[Track]) -> "QueryEngine":
+        """Build an engine over a store indexed from ``tracks``."""
         return cls(TrackStore.from_tracks(tracks))
 
     @classmethod
     def from_presence(cls, presence: dict[int, list[int]]) -> "QueryEngine":
+        """Build an engine over a prebuilt object→frames presence map."""
         return cls(TrackStore.from_presence(presence))
 
-    def run(self, query: Query):
+    def run(self, query: Query) -> object:
         """Evaluate ``query`` against the bound store."""
         return query.evaluate(self.store)

@@ -20,6 +20,7 @@ class CountResult:
 
     @property
     def count(self) -> int:
+        """Number of qualifying objects."""
         return len(self.qualifying)
 
 
@@ -42,6 +43,7 @@ class CountQuery:
             raise ValueError("min_frames must be >= 1")
 
     def evaluate(self, store: TrackStore) -> CountResult:
+        """Count objects visible for more than ``min_frames`` frames."""
         qualifying = []
         for object_id in store.object_ids():
             measure = (
@@ -66,6 +68,7 @@ class CoOccurrenceResult:
 
     @property
     def count(self) -> int:
+        """Number of qualifying groups."""
         return len(self.groups)
 
 
@@ -95,6 +98,7 @@ class CoOccurrenceQuery:
             raise ValueError("max_gap must be non-negative")
 
     def evaluate(self, store: TrackStore) -> CoOccurrenceResult:
+        """Find groups co-occurring for at least ``min_frames``."""
         # Only objects visible long enough can participate.
         candidates = [
             oid

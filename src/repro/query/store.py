@@ -64,6 +64,7 @@ class TrackStore:
         return store
 
     def object_ids(self) -> list[int]:
+        """All object ids, ascending."""
         return sorted(self.presence)
 
     def frames_of(self, object_id: int) -> list[int]:
@@ -78,6 +79,7 @@ class TrackStore:
         return frames[-1] - frames[0] + 1
 
     def appearance_count(self, object_id: int) -> int:
+        """Number of frames ``object_id`` appears in."""
         return len(self.frames_of(object_id))
 
     def present_in_range(self, object_id: int, start: int, end: int) -> int:

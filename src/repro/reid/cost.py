@@ -76,6 +76,7 @@ class CostModel:
 
     @property
     def milliseconds(self) -> float:
+        """Simulated elapsed milliseconds."""
         return self._ms
 
     def charge_extract(self, count: int = 1) -> None:

@@ -12,6 +12,7 @@ pseudo-latents so false-positive tracks look like distinct objects.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -183,7 +184,9 @@ class SimReIDModel:
             return latent.copy()
         return feature / norm
 
-    def tracker_embedder(self, noise_multiplier: float = 1.5):
+    def tracker_embedder(
+        self, noise_multiplier: float = 1.5
+    ) -> Callable[[Detection], np.ndarray]:
         """A cheaper, noisier embedding head for the trackers themselves.
 
         DeepSORT/UMA run a lightweight appearance descriptor online; giving

@@ -52,12 +52,15 @@ class FeatureCache:
         return key in self._features
 
     def get(self, key: FeatureKey) -> np.ndarray | None:
+        """Cached feature for ``key``, or ``None`` on a miss."""
         return self._features.get(key)
 
     def put(self, key: FeatureKey, feature: np.ndarray) -> None:
+        """Store ``feature`` under ``key``."""
         self._features[key] = feature
 
     def clear(self) -> None:
+        """Drop all cached features."""
         self._features.clear()
 
 

@@ -56,6 +56,7 @@ class GlareInterval:
             raise ValueError("glare strength must be in [0, 1]")
 
     def active_at(self, frame: int) -> bool:
+        """Whether the glare interval covers ``frame``."""
         return self.start <= frame <= self.end
 
 

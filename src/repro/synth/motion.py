@@ -19,6 +19,7 @@ class MotionModel(Protocol):
     """Maps a frame offset (frames since spawn) to a center position."""
 
     def position(self, step: int) -> tuple[float, float]:
+        """Position at ``step`` frames after spawn."""
         """Center coordinates ``(cx, cy)`` at ``step`` frames after spawn."""
         ...
 
@@ -36,6 +37,7 @@ class ConstantVelocity:
     velocity: tuple[float, float]
 
     def position(self, step: int) -> tuple[float, float]:
+        """Position at ``step`` frames after spawn."""
         return (
             self.start[0] + self.velocity[0] * step,
             self.start[1] + self.velocity[1] * step,
@@ -84,6 +86,7 @@ class RandomWalk:
         return cls(path=tuple(map(tuple, positions.tolist())))
 
     def position(self, step: int) -> tuple[float, float]:
+        """Position at ``step`` frames after spawn."""
         index = min(max(step, 0), len(self.path) - 1)
         return self.path[index]
 
@@ -112,6 +115,7 @@ class WaypointPath:
         return lengths
 
     def position(self, step: int) -> tuple[float, float]:
+        """Position at ``step`` frames after spawn."""
         distance = self.speed * max(step, 0)
         for (start, end), seg_len in zip(
             zip(self.waypoints, self.waypoints[1:]), self._segment_lengths()

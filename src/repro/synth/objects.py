@@ -59,6 +59,7 @@ class GroundTruthObject:
         return self.spawn_frame + self.lifetime - 1
 
     def alive_at(self, frame: int) -> bool:
+        """Whether the object exists at ``frame``."""
         return self.spawn_frame <= frame <= self.last_frame
 
     def bbox_at(self, frame: int) -> BBox:

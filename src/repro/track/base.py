@@ -24,6 +24,7 @@ class TrackObservation:
 
     @property
     def bbox(self) -> BBox:
+        """The observed bounding box."""
         return self.detection.bbox
 
 
@@ -52,12 +53,14 @@ class Track:
 
     @property
     def first_frame(self) -> int:
+        """Frame index of the first observation."""
         if not self.observations:
             raise ValueError(f"track {self.track_id} is empty")
         return self.observations[0].frame
 
     @property
     def last_frame(self) -> int:
+        """Frame index of the last observation."""
         if not self.observations:
             raise ValueError(f"track {self.track_id} is empty")
         return self.observations[-1].frame
@@ -69,6 +72,7 @@ class Track:
 
     @property
     def frames(self) -> list[int]:
+        """All observation frame indices, in order."""
         return [obs.frame for obs in self.observations]
 
     def dominant_source(self) -> int | None:

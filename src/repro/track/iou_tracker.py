@@ -47,6 +47,7 @@ class IoUTracker(Tracker):
         self.min_confidence = min_confidence
 
     def run(self, detections_per_frame: list[list[Detection]]) -> list[Track]:
+        """Run the tracker over per-frame detections; return finished tracks."""
         active: list[_ActiveTrack] = []
         finished: list[Track] = []
         next_id = 0

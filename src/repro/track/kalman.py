@@ -140,4 +140,5 @@ class KalmanBoxTracker:
         self.hits += 1
 
     def current_box(self) -> BBox:
+        """The current state estimate as a BBox."""
         return _z_to_bbox(self.kf.x[:4])

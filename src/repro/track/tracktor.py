@@ -60,6 +60,7 @@ class TracktorTracker(Tracker):
         self.min_confidence = min_confidence
 
     def run(self, detections_per_frame: list[list[Detection]]) -> list[Track]:
+        """Run the tracker over per-frame detections; return finished tracks."""
         active: list[_RegressedTrack] = []
         finished: list[Track] = []
         next_id = 0

@@ -69,6 +69,7 @@ class TestPublicApi:
             "repro.experiments",
             "repro.io",
             "repro.analysis",
+            "repro.lint",
         ):
             module = importlib.import_module(package)
             for name in getattr(module, "__all__", []):
@@ -82,6 +83,25 @@ class TestPublicApi:
             obj = getattr(repro, name)
             if callable(obj):
                 assert obj.__doc__, f"{name} lacks a docstring"
+
+
+class TestLinter:
+    """The repo's own linter passes on the repo's own code."""
+
+    def test_src_repro_is_lint_clean(self):
+        from repro.lint import lint_paths
+
+        report = lint_paths([REPO / "src" / "repro"])
+        rendered = "\n".join(v.render() for v in report.violations)
+        assert report.ok, f"lint violations in src/repro:\n{rendered}"
+        assert report.files_checked > 50
+
+    def test_tests_and_benchmarks_are_lint_clean(self):
+        from repro.lint import lint_paths
+
+        report = lint_paths([REPO / "tests", REPO / "benchmarks"])
+        rendered = "\n".join(v.render() for v in report.violations)
+        assert report.ok, f"lint violations:\n{rendered}"
 
 
 class TestExperimentsDocument:
