@@ -91,6 +91,16 @@ from repro.query import (
     count_query_recall,
     cooccurrence_query_recall,
 )
+from repro.faults import FaultProfile, fault_profile
+from repro.resilience import (
+    BreakerPolicy,
+    CheckpointStore,
+    CircuitBreaker,
+    ResilienceConfig,
+    ResilientReidScorer,
+    RetryPolicy,
+    retry_call,
+)
 
 __version__ = "1.0.0"
 
@@ -151,4 +161,13 @@ __all__ = [
     "CoOccurrenceQuery",
     "count_query_recall",
     "cooccurrence_query_recall",
+    "FaultProfile",
+    "fault_profile",
+    "BreakerPolicy",
+    "CheckpointStore",
+    "CircuitBreaker",
+    "ResilienceConfig",
+    "ResilientReidScorer",
+    "RetryPolicy",
+    "retry_call",
 ]

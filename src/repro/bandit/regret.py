@@ -46,6 +46,15 @@ class RegretTracker:
             return 0.0
         return self._total / self._rounds
 
+    def state_dict(self) -> dict[str, float]:
+        """Restorable accumulator state (for window checkpoints)."""
+        return {"total": self._total, "rounds": self._rounds}
+
+    def load_state_dict(self, state: dict[str, float]) -> None:
+        """Restore a state captured by :meth:`state_dict`."""
+        self._total = float(state["total"])
+        self._rounds = int(state["rounds"])
+
     @staticmethod
     def theoretical_bound(n_arms: int, rounds: int) -> float:
         """The §IV-E bound shape ``sqrt(|P_c| · log τ / τ)`` (up to O(1))."""

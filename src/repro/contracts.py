@@ -183,6 +183,95 @@ def check_window_length(
         )
 
 
+#: Legal circuit-breaker transitions (see DESIGN.md §7): the breaker may
+#: trip from closed, cool down from open, and resolve a trial either way.
+LEGAL_BREAKER_TRANSITIONS = frozenset(
+    {
+        ("closed", "open"),
+        ("open", "half_open"),
+        ("half_open", "closed"),
+        ("half_open", "open"),
+    }
+)
+
+
+def check_finite_distance(
+    value: float, where: str = "distance"
+) -> None:
+    """Raw ReID distances must be finite (no NaN/inf from corruption).
+
+    Raises:
+        ContractViolation: when ``value`` is NaN or infinite.
+    """
+    if not ENABLED:
+        return
+    if not np.isfinite(value):
+        raise ContractViolation(
+            f"{where}: non-finite ReID distance {value!r} (corrupted "
+            "feature reached the scoring layer)"
+        )
+
+
+def check_breaker_transition(
+    old_state: str, new_state: str, where: str = "CircuitBreaker"
+) -> None:
+    """Circuit-breaker state changes must follow the three-state machine.
+
+    Raises:
+        ContractViolation: when ``old_state → new_state`` is not in
+            :data:`LEGAL_BREAKER_TRANSITIONS`.
+    """
+    if not ENABLED:
+        return
+    if (old_state, new_state) not in LEGAL_BREAKER_TRANSITIONS:
+        raise ContractViolation(
+            f"{where}: illegal breaker transition {old_state!r} -> "
+            f"{new_state!r}"
+        )
+
+
+def _deep_equal(left: object, right: object) -> bool:
+    """Structural equality for JSON-able payloads (no float coercion)."""
+    if type(left) is not type(right):
+        return False
+    if isinstance(left, dict):
+        if left.keys() != right.keys():  # type: ignore[union-attr]
+            return False
+        return all(
+            _deep_equal(value, right[key])  # type: ignore[index]
+            for key, value in left.items()
+        )
+    if isinstance(left, (list, tuple)):
+        if len(left) != len(right):  # type: ignore[arg-type]
+            return False
+        return all(
+            _deep_equal(a, b)
+            for a, b in zip(left, right)  # type: ignore[call-overload]
+        )
+    return left == right
+
+
+def check_checkpoint_roundtrip(
+    original: dict, restored: dict, where: str = "checkpoint"
+) -> None:
+    """A checkpoint must deep-equal its own serialization round-trip.
+
+    Floats must round-trip exactly (JSON repr is lossless for IEEE
+    doubles) and container types must be preserved — otherwise a resumed
+    window could diverge from the uninterrupted run.
+
+    Raises:
+        ContractViolation: when the round-tripped payload differs.
+    """
+    if not ENABLED:
+        return
+    if not _deep_equal(original, restored):
+        raise ContractViolation(
+            f"{where}: checkpoint payload does not survive its "
+            "serialization round-trip"
+        )
+
+
 def check_windows_partition(
     windows: Iterable[object], n_frames: int, where: str = "windows"
 ) -> None:

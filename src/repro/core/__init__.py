@@ -29,7 +29,11 @@ from repro.core.ulb import UlbPruner
 from repro.core.tmerge import TMerge
 from repro.core.epsilon import EpsilonGreedyMerger
 from repro.core.merge import merge_tracks, UnionFind
-from repro.core.pipeline import IngestionPipeline, IngestionResult
+from repro.core.pipeline import (
+    IngestionPipeline,
+    IngestionResult,
+    run_resilient_window,
+)
 
 __all__ = [
     "Window",
@@ -52,4 +56,5 @@ __all__ = [
     "UnionFind",
     "IngestionPipeline",
     "IngestionResult",
+    "run_resilient_window",
 ]

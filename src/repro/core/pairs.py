@@ -138,6 +138,14 @@ class TrackPair:
         same pair objects)."""
         self._sampled.clear()
 
+    def sampled_state(self) -> list[int]:
+        """Sorted flat indices drawn so far (JSON-able checkpoint form)."""
+        return sorted(self._sampled)
+
+    def restore_sampled(self, flat_indices: list[int]) -> None:
+        """Overwrite sampling history with a :meth:`sampled_state` capture."""
+        self._sampled = {int(f) for f in flat_indices}
+
 
 def build_track_pairs(
     current: list[Track], previous: list[Track] | None = None

@@ -11,15 +11,67 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Protocol
 
+import numpy as np
+
 from repro import contracts
 from repro.core.merge import merge_tracks
 from repro.core.pairs import TrackPair, build_track_pairs
-from repro.core.results import MergeResult
+from repro.core.results import MergeResult, top_k_count
 from repro.core.windows import Window, WindowedTracks, partition_windows
 from repro.detect import Detection, NoisyDetector
+from repro.faults.errors import WindowCrashError
+from repro.faults.profiles import FaultProfile
 from repro.reid import CostModel, CostParams, ReidScorer, SimReIDModel
+from repro.resilience import (
+    REID_UNAVAILABLE,
+    ResilienceConfig,
+    ResilientReidScorer,
+    RetryPolicy,
+    retry_call,
+)
 from repro.synth.world import VideoGroundTruth
 from repro.track.base import Track, Tracker
+
+#: Prior means mirroring BetaInit (see :mod:`repro.core.tmerge`): the
+#: spatial-fallback ranking is exactly a zero-observation TMerge ranking.
+_PRIOR_MEAN_CLOSE = 1.0 / 3.0
+_PRIOR_MEAN_DEFAULT = 0.5
+
+
+def _spatial_fallback_result(
+    merger: "Merger", pairs: list[TrackPair], elapsed: float
+) -> MergeResult:
+    """Candidate set from spatial priors alone (the degradation floor).
+
+    Used when a merger that does not handle degradation internally loses
+    its ReID dependency mid-window: pairs are ranked by their BetaInit
+    prior mean (close pairs first) with spatial distance as tiebreak —
+    identical to what TMerge returns from a fully-offline window.
+    """
+    k = float(getattr(merger, "k", 0.0))
+    thr_s = getattr(merger, "thr_s", 200.0)
+    budget = top_k_count(len(pairs), k)
+    spatial = np.array([pair.spatial_distance for pair in pairs])
+    if thr_s is None:
+        means = np.full(len(pairs), _PRIOR_MEAN_DEFAULT)
+    else:
+        means = np.where(
+            spatial < thr_s, _PRIOR_MEAN_CLOSE, _PRIOR_MEAN_DEFAULT
+        )
+    order = np.lexsort((spatial, means))
+    chosen = [int(i) for i in order[:budget]]
+    return MergeResult(
+        method=merger.name,
+        candidates=[pairs[i] for i in chosen],
+        scores={
+            pair.key: float(means[i]) for i, pair in enumerate(pairs)
+        },
+        n_pairs=len(pairs),
+        k=k,
+        simulated_seconds=elapsed,
+        extra={"spatial_fallback": 1.0},
+        degraded=True,
+    )
 
 
 class Merger(Protocol):
@@ -29,6 +81,69 @@ class Merger(Protocol):
     def name(self) -> str: ...
 
     def run(self, pairs: list[TrackPair], scorer: ReidScorer) -> MergeResult: ...
+
+
+def run_resilient_window(
+    merger: Merger,
+    index: int,
+    pairs: list[TrackPair],
+    scorer: ReidScorer | ResilientReidScorer,
+    cost: CostModel,
+    resilience: ResilienceConfig | None,
+    crasher=None,
+) -> MergeResult:
+    """Run a merger on one window, surviving crashes and ReID outages.
+
+    Window crashes are retried through :func:`repro.resilience.retry_call`
+    (resuming from the merger's checkpoint store when it has one,
+    restarting the window's sampling otherwise); a ReID outage the merger
+    does not handle internally falls back to the spatial-prior candidate
+    set with ``degraded=True``.  With ``resilience=None`` this is exactly
+    ``merger.run(pairs, scorer)``.
+
+    Args:
+        merger: the algorithm under test.
+        index: window index (used to arm the crash schedule).
+        pairs: the window's candidate pair set.
+        scorer: plain or resilient scorer.
+        cost: the shared simulated clock.
+        resilience: retry/breaker/window-retry tuning, or ``None``.
+        crasher: optional
+            :class:`~repro.faults.injectors.WindowCrashInjector`.
+    """
+    if resilience is None:
+        return merger.run(pairs, scorer)
+
+    armed = crasher.arm(index) if crasher is not None else None
+    checkpointed = getattr(merger, "checkpoint_store", None)
+
+    def attempt() -> MergeResult:
+        if armed is not None and armed.fired and checkpointed is None:
+            # A crashed attempt left partial sampling state behind and
+            # there is no checkpoint to resume from: the replacement
+            # worker starts the window from scratch.
+            for pair in pairs:
+                pair.reset_sampling()
+        if isinstance(scorer, ResilientReidScorer):
+            scorer.crash_injector = armed
+        try:
+            return merger.run(pairs, scorer)
+        finally:
+            if isinstance(scorer, ResilientReidScorer):
+                scorer.crash_injector = None
+
+    window_start = cost.seconds
+    policy = RetryPolicy(
+        max_attempts=resilience.max_window_retries + 1,
+        backoff_base_ms=0.0,
+        retry_on=(WindowCrashError,),
+    )
+    try:
+        return retry_call(attempt, policy, cost)
+    except REID_UNAVAILABLE:
+        return _spatial_fallback_result(
+            merger, pairs, cost.seconds - window_start
+        )
 
 
 @dataclass
@@ -45,6 +160,8 @@ class IngestionResult:
         merged_tracks: tracks after applying all selected candidates.
         id_map: original TID → merged TID.
         cost: the simulated cost model (shared across windows).
+        resilience_stats: counters from the resilience layer (empty when
+            the pipeline ran without one).
     """
 
     world: VideoGroundTruth
@@ -56,6 +173,16 @@ class IngestionResult:
     merged_tracks: list[Track]
     id_map: dict[int, int]
     cost: CostModel
+    resilience_stats: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def degraded_windows(self) -> list[int]:
+        """Indices of windows whose merge ran in degraded mode."""
+        return [
+            c
+            for c, result in enumerate(self.window_results)
+            if result.degraded
+        ]
 
     @property
     def selected_pairs(self) -> list[tuple[int, int]]:
@@ -99,6 +226,12 @@ class IngestionPipeline:
         l_max: optional declared maximum track length ``L_max``; when set
             and contracts are enabled (``REPRO_CHECK_INVARIANTS=1``), the
             §II constraint ``window_length ≥ 2·l_max`` is enforced.
+        fault_profile: optional chaos configuration; when set, its
+            injectors are wired into the detection feed, the ReID model
+            and the per-window crash seam (and resilience defaults on).
+        resilience: retry/breaker/window-retry tuning; defaults to
+            :class:`~repro.resilience.ResilientReidScorer` defaults when
+            a fault profile is set, stays off otherwise.
     """
 
     tracker: Tracker
@@ -110,10 +243,25 @@ class IngestionPipeline:
     detector_seed: int = 2
     merge_score_threshold: float | None = None
     l_max: int | None = None
+    fault_profile: FaultProfile | None = None
+    resilience: ResilienceConfig | None = None
+
+    def _resilience(self) -> ResilienceConfig | None:
+        """The effective resilience config (auto-on under a fault profile)."""
+        if self.resilience is not None:
+            return self.resilience
+        if self.fault_profile is not None:
+            return ResilienceConfig()
+        return None
 
     def run(self, world: VideoGroundTruth) -> IngestionResult:
         """Ingest one video end to end."""
         detections = self.detector.detect_video(world, seed=self.detector_seed)
+        if (
+            self.fault_profile is not None
+            and self.fault_profile.frame_drop_rate > 0
+        ):
+            detections = self.fault_profile.frame_injector().apply(detections)
         tracks = self.tracker.run(detections)
         return self.run_on_tracks(world, detections, tracks)
 
@@ -127,7 +275,25 @@ class IngestionPipeline:
         one tracker run across many merger configurations)."""
         cost = CostModel(self.cost_params)
         model = SimReIDModel(world, seed=self.reid_seed)
-        scorer = ReidScorer(model, cost=cost)
+        if (
+            self.fault_profile is not None
+            and self.fault_profile.injects_reid_faults
+        ):
+            model = self.fault_profile.wrap_model(model)
+        scorer: ReidScorer | ResilientReidScorer = ReidScorer(model, cost=cost)
+        resilience = self._resilience()
+        if resilience is not None:
+            scorer = ResilientReidScorer(
+                scorer,
+                retry=resilience.retry,
+                breaker_policy=resilience.breaker,
+            )
+        crasher = (
+            self.fault_profile.window_crasher()
+            if self.fault_profile is not None
+            and self.fault_profile.window_crash_rate > 0
+            else None
+        )
 
         windows = partition_windows(
             world.n_frames, self.window_length, l_max=self.l_max
@@ -142,7 +308,9 @@ class IngestionPipeline:
             )
             window_pairs.append(pairs)
             if pairs:
-                result = self.merger.run(pairs, scorer)
+                result = self._run_window(
+                    c, pairs, scorer, cost, resilience, crasher
+                )
                 if contracts.ENABLED:
                     contracts.check_top_k_budget(
                         len(result.candidates),
@@ -183,4 +351,23 @@ class IngestionPipeline:
             merged_tracks=merged,
             id_map=id_map,
             cost=cost,
+            resilience_stats=(
+                scorer.stats()
+                if isinstance(scorer, ResilientReidScorer)
+                else {}
+            ),
+        )
+
+    def _run_window(
+        self,
+        index: int,
+        pairs: list[TrackPair],
+        scorer: ReidScorer | ResilientReidScorer,
+        cost: CostModel,
+        resilience: ResilienceConfig | None,
+        crasher,
+    ) -> MergeResult:
+        """Run the merger on one window through the resilience seam."""
+        return run_resilient_window(
+            self.merger, index, pairs, scorer, cost, resilience, crasher
         )

@@ -23,6 +23,9 @@ class MergeResult:
         simulated_seconds: simulated clock charged by this run.
         iterations: sampling iterations performed (0 for the baseline).
         extra: algorithm-specific diagnostics (pruning counts, regret, …).
+        degraded: True when the run fell back to reduced evidence (the
+            ReID dependency became unavailable mid-window and the
+            candidates rest partly or wholly on spatial priors).
     """
 
     method: str
@@ -33,6 +36,7 @@ class MergeResult:
     simulated_seconds: float
     iterations: int = 0
     extra: dict[str, float] = field(default_factory=dict)
+    degraded: bool = False
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.k <= 1.0:

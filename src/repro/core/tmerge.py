@@ -21,7 +21,15 @@ from repro.core.beta_init import beta_init
 from repro.core.pairs import TrackPair
 from repro.core.results import MergeResult, top_k_count
 from repro.core.ulb import UlbPruner
-from repro.reid import ReidScorer, normalize_distance
+from repro.reid import ReidScorer
+from repro.resilience import (
+    REID_UNAVAILABLE,
+    CheckpointStore,
+    capture_scorer_state,
+    encode_generator_state,
+    restore_generator_state,
+    restore_scorer_state,
+)
 
 _POSTERIORS = ("beta", "gaussian")
 
@@ -67,6 +75,13 @@ class TMerge:
             :class:`~repro.core.ulb.UlbPruner`.
         s_min: optional true minimum normalized score, enabling regret
             tracking (§IV-E analysis benches).
+        checkpoint_interval: when set (with ``checkpoint_store``), persist
+            a full resumable snapshot every this many iterations, so a
+            window killed mid-run resumes bit-exactly.
+        checkpoint_store: the
+            :class:`~repro.resilience.checkpoint.CheckpointStore` holding
+            snapshots; an initial snapshot is always written at τ=0 so
+            even an early crash rewinds the simulated clock correctly.
     """
 
     def __init__(
@@ -81,6 +96,8 @@ class TMerge:
         ulb_interval: int = 25,
         ulb_scale: float = 1.0,
         s_min: float | None = None,
+        checkpoint_interval: int | None = None,
+        checkpoint_store: CheckpointStore | None = None,
     ) -> None:
         if not 0.0 <= k <= 1.0:
             raise ValueError("k must be in [0, 1]")
@@ -96,6 +113,8 @@ class TMerge:
             raise ValueError("ulb_scale must be positive")
         if thr_s is not None and thr_s < 0:
             raise ValueError("thr_s must be non-negative")
+        if checkpoint_interval is not None and checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be >= 1")
         self.k = k
         self.tau_max = tau_max
         self.thr_s = thr_s
@@ -106,6 +125,8 @@ class TMerge:
         self.ulb_interval = ulb_interval
         self.ulb_scale = ulb_scale
         self.s_min = s_min
+        self.checkpoint_interval = checkpoint_interval
+        self.checkpoint_store = checkpoint_store
 
     @property
     def name(self) -> str:
@@ -119,7 +140,16 @@ class TMerge:
 
     # ------------------------------------------------------------------
     def run(self, pairs: list[TrackPair], scorer: ReidScorer) -> MergeResult:
-        """Identify the estimated top-⌈K·|P_c|⌉ polyonymous candidates."""
+        """Identify the estimated top-⌈K·|P_c|⌉ polyonymous candidates.
+
+        When a checkpoint store is configured, the run resumes from the
+        window's last snapshot (if any) and snapshots its full state every
+        ``checkpoint_interval`` iterations; the snapshot is discarded once
+        the window completes.  When the resilience layer signals that ReID
+        is unavailable mid-window, the run stops sampling and returns the
+        best candidates supportable by the evidence gathered so far, with
+        ``degraded=True``.
+        """
         rng = np.random.default_rng(self.seed)
         start_seconds = scorer.cost.seconds
         n = len(pairs)
@@ -148,8 +178,44 @@ class TMerge:
         )
         regret = RegretTracker(self.s_min) if self.s_min is not None else None
 
+        window_key = [list(pair.key) for pair in pairs]
+        tau0 = 0
         iterations = 0
-        for tau in range(1, self.tau_max + 1):
+        if self.checkpoint_store is not None:
+            saved = self.checkpoint_store.load(window_key)
+            if saved is not None:
+                tau0 = int(saved["tau"])
+                iterations = int(saved["iterations"])
+                start_seconds = float(saved["start_seconds"])
+                successes = np.asarray(saved["successes"], dtype=np.float64)
+                failures = np.asarray(saved["failures"], dtype=np.float64)
+                gauss_mean = np.asarray(saved["gauss_mean"], dtype=np.float64)
+                gauss_var = np.asarray(saved["gauss_var"], dtype=np.float64)
+                sums = np.asarray(saved["sums"], dtype=np.float64)
+                counts = np.asarray(saved["counts"], dtype=np.int64)
+                eligible = np.asarray(saved["eligible"], dtype=bool)
+                for pair, flat in zip(pairs, saved["sampled"]):
+                    pair.restore_sampled(flat)
+                if pruner is not None and saved["pruner"] is not None:
+                    pruner.load_state_dict(saved["pruner"])
+                if regret is not None and saved["regret"] is not None:
+                    regret.load_state_dict(saved["regret"])
+                restore_generator_state(rng, saved["rng"])
+                restore_scorer_state(scorer, saved["scorer"])
+            else:
+                # τ=0 snapshot: even a crash before the first interval
+                # rewinds clock, cache and RNGs to the window start.
+                self.checkpoint_store.save(
+                    window_key,
+                    self._checkpoint_payload(
+                        0, 0, start_seconds, pairs, successes, failures,
+                        gauss_mean, gauss_var, sums, counts, eligible,
+                        pruner, regret, rng, scorer,
+                    ),
+                )
+
+        degraded = False
+        for tau in range(tau0 + 1, self.tau_max + 1):
             live = np.nonzero(eligible)[0]
             if live.size == 0:
                 break
@@ -157,7 +223,11 @@ class TMerge:
             selected = self._select_arms(
                 live, successes, failures, gauss_mean, gauss_var, rng
             )
-            observations = self._evaluate(pairs, selected, scorer, rng)
+            try:
+                observations = self._evaluate(pairs, selected, scorer, rng)
+            except REID_UNAVAILABLE:
+                degraded = True
+                break
 
             for arm, d_norm in observations:
                 if contracts.ENABLED:
@@ -197,6 +267,23 @@ class TMerge:
                         pruner.accepted, pruner.rejected, n, where="TMerge.run"
                     )
 
+            if (
+                self.checkpoint_store is not None
+                and self.checkpoint_interval is not None
+                and tau % self.checkpoint_interval == 0
+            ):
+                self.checkpoint_store.save(
+                    window_key,
+                    self._checkpoint_payload(
+                        tau, iterations, start_seconds, pairs, successes,
+                        failures, gauss_mean, gauss_var, sums, counts,
+                        eligible, pruner, regret, rng, scorer,
+                    ),
+                )
+
+        if self.checkpoint_store is not None:
+            self.checkpoint_store.discard(window_key)
+
         return self._finalize(
             pairs,
             successes,
@@ -207,7 +294,45 @@ class TMerge:
             scorer.cost.seconds - start_seconds,
             iterations,
             regret,
+            degraded,
         )
+
+    def _checkpoint_payload(
+        self,
+        tau: int,
+        iterations: int,
+        start_seconds: float,
+        pairs: list[TrackPair],
+        successes: np.ndarray,
+        failures: np.ndarray,
+        gauss_mean: np.ndarray,
+        gauss_var: np.ndarray,
+        sums: np.ndarray,
+        counts: np.ndarray,
+        eligible: np.ndarray,
+        pruner: UlbPruner | None,
+        regret: RegretTracker | None,
+        rng: np.random.Generator,
+        scorer: ReidScorer,
+    ) -> dict:
+        """Full pure-JSON snapshot of a mid-window run (see DESIGN.md §7)."""
+        return {
+            "tau": tau,
+            "iterations": iterations,
+            "start_seconds": float(start_seconds),
+            "successes": [float(x) for x in successes],
+            "failures": [float(x) for x in failures],
+            "gauss_mean": [float(x) for x in gauss_mean],
+            "gauss_var": [float(x) for x in gauss_var],
+            "sums": [float(x) for x in sums],
+            "counts": [int(x) for x in counts],
+            "eligible": [bool(x) for x in eligible],
+            "sampled": [pair.sampled_state() for pair in pairs],
+            "pruner": pruner.state_dict() if pruner is not None else None,
+            "regret": regret.state_dict() if regret is not None else None,
+            "rng": encode_generator_state(rng),
+            "scorer": capture_scorer_state(scorer),
+        }
 
     # ------------------------------------------------------------------
     def _select_arms(
@@ -240,13 +365,20 @@ class TMerge:
         scorer: ReidScorer,
         rng: np.random.Generator,
     ) -> list[tuple[int, float]]:
-        """Draw one BBox pair per selected arm and compute d̃ for each."""
+        """Draw one BBox pair per selected arm and compute d̃ for each.
+
+        Goes through the scorer's normalized entry points so the
+        non-finite defense (and, when wrapped, the resilience layer)
+        covers every observation.
+        """
         if self.batch_size is None:
             arm = selected[0]
             pair = pairs[arm]
             ia, ib = pair.sample_bbox_pair(rng)
-            distance = scorer.distance(pair.track_a, ia, pair.track_b, ib)
-            return [(arm, normalize_distance(distance))]
+            d_norm = scorer.normalized_distance(
+                pair.track_a, ia, pair.track_b, ib
+            )
+            return [(arm, d_norm)]
 
         requests = []
         owners = []
@@ -259,12 +391,10 @@ class TMerge:
             owners.append(arm)
         if not requests:
             return []
-        distances = scorer.distances_batched(
+        d_norms = scorer.normalized_distances_batched(
             requests, batch_size=self.batch_size
         )
-        return [
-            (arm, normalize_distance(d)) for arm, d in zip(owners, distances)
-        ]
+        return list(zip(owners, d_norms))
 
     def _finalize(
         self,
@@ -277,8 +407,15 @@ class TMerge:
         elapsed: float,
         iterations: int,
         regret: RegretTracker | None,
+        degraded: bool = False,
     ) -> MergeResult:
-        """Rank by posterior mean, honouring ULB accept/reject verdicts."""
+        """Rank by posterior mean, honouring ULB accept/reject verdicts.
+
+        In a degraded run many posteriors still sit at their BetaInit
+        priors, so ties are broken by spatial distance — with *zero*
+        observations this reduces exactly to the spatial-prior-only
+        ranking, the documented degradation floor.
+        """
         if self.posterior == "beta":
             posterior_means = successes / (successes + failures)
         else:
@@ -294,9 +431,16 @@ class TMerge:
         chosen = sorted(accepted, key=lambda a: posterior_means[a])[:budget]
         chosen_set = set(chosen)
         if len(chosen) < budget:
+            if degraded:
+                spatial = np.array(
+                    [pair.spatial_distance for pair in pairs]
+                )
+                order = np.lexsort((spatial, posterior_means))
+            else:
+                order = np.argsort(posterior_means, kind="stable")
             fill = [
                 i
-                for i in np.argsort(posterior_means, kind="stable")
+                for i in order
                 if i not in chosen_set and i not in rejected
             ]
             chosen.extend(int(i) for i in fill[: budget - len(chosen)])
@@ -318,4 +462,5 @@ class TMerge:
             simulated_seconds=elapsed,
             iterations=iterations,
             extra=extra,
+            degraded=degraded,
         )

@@ -48,11 +48,28 @@ class UlbPruner:
         self.radius_scale = radius_scale
         self.accepted: set[int] = set()
         self.rejected: set[int] = set()
+        #: Non-finite running means clamped by :meth:`update` (only ever
+        #: non-zero when corrupted distances slip past the scorer layer).
+        self.n_nonfinite_clamped = 0
 
     @property
     def pruned(self) -> set[int]:
         """The paper's ``P_skip``: all arms removed from sampling."""
         return self.accepted | self.rejected
+
+    def state_dict(self) -> dict:
+        """Restorable pruning state (for window checkpoints)."""
+        return {
+            "accepted": sorted(self.accepted),
+            "rejected": sorted(self.rejected),
+            "n_nonfinite_clamped": self.n_nonfinite_clamped,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a state captured by :meth:`state_dict`."""
+        self.accepted = {int(a) for a in state["accepted"]}
+        self.rejected = {int(a) for a in state["rejected"]}
+        self.n_nonfinite_clamped = int(state["n_nonfinite_clamped"])
 
     def update(
         self,
@@ -72,6 +89,20 @@ class UlbPruner:
         """
         if self.n_arms == 0 or self.k_count == 0:
             return set(), set()
+        means = np.asarray(means, dtype=np.float64)
+        pulled = np.asarray(pulls) > 0
+        bad = pulled & ~np.isfinite(means)
+        if np.any(bad):
+            # Corrupted evidence must not steer the bounds: raise under
+            # runtime contracts, otherwise treat the arm as maximally
+            # distant (mean 1.0) and count the clamp.
+            if contracts.ENABLED:
+                raise contracts.ContractViolation(
+                    f"UlbPruner: non-finite running means at arms "
+                    f"{np.nonzero(bad)[0].tolist()}"
+                )
+            self.n_nonfinite_clamped += int(bad.sum())
+            means = np.where(bad, 1.0, means)
         radii = self.radius_scale * np.array(
             [hoeffding_radius(total_rounds, int(n)) for n in pulls]
         )

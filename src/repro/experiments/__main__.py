@@ -4,6 +4,7 @@ Usage::
 
     python -m repro.experiments fig3              # REC-K curves
     python -m repro.experiments fig11 --videos 3  # polyonymous rates
+    python -m repro.experiments faults            # chaos matrix
     python -m repro.experiments list              # show available figures
 
 Each figure runs at the same laptop scale as the benchmark suite and
@@ -171,6 +172,27 @@ def run_fig13(args) -> str:
     )
 
 
+def run_faults(args) -> str:
+    """Render the chaos matrix: TMerge under injected fault profiles."""
+    from repro.experiments.chaos import fault_profile_sweep
+
+    videos = _mot17(args.videos)
+    rows = fault_profile_sweep(
+        figures.default_quality_merger,
+        videos,
+        profiles=list(args.profiles),
+        fault_seed=args.fault_seed,
+    )
+    return format_table(
+        ["profile", "REC", "FPS", "seconds", "degraded windows"],
+        [
+            [name, p.rec, p.fps, p.simulated_seconds, p.degraded_windows]
+            for name, p in rows
+        ],
+        "Chaos matrix — TMerge under fault injection",
+    )
+
+
 _RUNNERS = {
     "fig3": run_fig3,
     "fig4": run_fig4,
@@ -183,6 +205,7 @@ _RUNNERS = {
     "fig11": run_fig11,
     "fig12": run_fig12,
     "fig13": run_fig13,
+    "faults": run_faults,
 }
 
 
@@ -202,6 +225,18 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=2,
         help="videos per dataset (default 2)",
+    )
+    parser.add_argument(
+        "--profiles",
+        nargs="+",
+        default=["flaky-reid", "corrupt-features", "window-crash"],
+        help="fault profiles for the chaos matrix (faults only)",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=7,
+        help="seed of the injected fault schedule (faults only)",
     )
     args = parser.parse_args(argv)
     if args.figure == "list":

@@ -1,0 +1,72 @@
+"""Chaos sweeps: merger quality and throughput under injected faults.
+
+Runs one merger configuration across a matrix of fault profiles (plus a
+fault-free baseline) and reports REC, FPS and the number of windows that
+completed in degraded mode.  Every profile is re-seeded through
+:meth:`~repro.faults.profiles.FaultProfile.with_seed` so a sweep is a pure
+function of ``(factory, videos, reid_seed, fault_seed)``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.prep import PreparedVideo
+from repro.experiments.sweeps import MergerFactory, MethodPoint, evaluate_merger
+from repro.faults import fault_profile
+from repro.reid import CostParams
+from repro.resilience import ResilienceConfig
+
+
+def fault_profile_sweep(
+    factory: MergerFactory,
+    videos: list[PreparedVideo],
+    profiles: list[str],
+    reid_seed: int = 1,
+    fault_seed: int = 7,
+    cost_params: CostParams | None = None,
+    resilience: ResilienceConfig | None = None,
+) -> list[tuple[str, MethodPoint]]:
+    """Evaluate one merger under each named fault profile.
+
+    The first row is always the fault-free baseline (profile name
+    ``"none"``) measured with the resilience layer *enabled*, so any gap
+    between it and a faulted row is attributable to the faults alone —
+    the fault-free resilient path is bit-identical to the plain one.
+
+    Args:
+        factory: builds a fresh merger per video (per profile).
+        videos: prepared evaluation videos.
+        profiles: names from :data:`repro.faults.profiles.PROFILES`.
+        reid_seed: seed of the ReID extraction noise.
+        fault_seed: seed of every profile's fault schedule.
+        cost_params: simulated cost constants (defaults).
+        resilience: resilience tuning shared by all rows (defaults).
+    """
+    config = resilience if resilience is not None else ResilienceConfig()
+    rows: list[tuple[str, MethodPoint]] = [
+        (
+            "none",
+            evaluate_merger(
+                factory,
+                videos,
+                reid_seed=reid_seed,
+                cost_params=cost_params,
+                resilience=config,
+            ),
+        )
+    ]
+    for name in profiles:
+        profile = fault_profile(name, seed=fault_seed)
+        rows.append(
+            (
+                name,
+                evaluate_merger(
+                    factory,
+                    videos,
+                    reid_seed=reid_seed,
+                    cost_params=cost_params,
+                    fault_profile=profile,
+                    resilience=config,
+                ),
+            )
+        )
+    return rows

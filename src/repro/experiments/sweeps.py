@@ -5,10 +5,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.core.pipeline import Merger
+from repro.core.pipeline import Merger, run_resilient_window
 from repro.experiments.prep import PreparedVideo
+from repro.faults.profiles import FaultProfile
 from repro.metrics.recall import window_recall
 from repro.reid import CostParams, ReidScorer, SimReIDModel
+from repro.resilience import ResilienceConfig, ResilientReidScorer
 
 MergerFactory = Callable[[], Merger]
 
@@ -23,6 +25,8 @@ class MethodPoint:
         fps: frames processed per simulated second.
         simulated_seconds: total simulated merging time.
         parameter: the swept parameter value (τ_max, η, …), if any.
+        degraded_windows: windows that completed in degraded mode (always
+            0 outside fault-injection sweeps).
     """
 
     method: str
@@ -30,6 +34,7 @@ class MethodPoint:
     fps: float
     simulated_seconds: float
     parameter: float | None = None
+    degraded_windows: int = 0
 
 
 def evaluate_merger(
@@ -38,6 +43,8 @@ def evaluate_merger(
     reid_seed: int = 1,
     cost_params: CostParams | None = None,
     parameter: float | None = None,
+    fault_profile: FaultProfile | None = None,
+    resilience: ResilienceConfig | None = None,
 ) -> MethodPoint:
     """Run one algorithm configuration over every window of every video.
 
@@ -51,10 +58,18 @@ def evaluate_merger(
         reid_seed: seed of the ReID extraction noise.
         cost_params: simulated cost constants (defaults).
         parameter: recorded swept-parameter value for reporting.
+        fault_profile: optional chaos configuration wired into the ReID
+            model and the per-window crash seam (fresh injectors per
+            video, so every video sees the same schedule).
+        resilience: resilience tuning; defaults on when a fault profile
+            is given, stays off otherwise.
     """
+    if resilience is None and fault_profile is not None:
+        resilience = ResilienceConfig()
     recs: list[float] = []
     total_seconds = 0.0
     total_frames = 0
+    degraded_windows = 0
     method = ""
     for video in videos:
         video.reset_sampling()
@@ -62,18 +77,39 @@ def evaluate_merger(
         method = merger.name
         from repro.reid import CostModel  # local import to avoid cycle noise
 
-        scorer = ReidScorer(
-            SimReIDModel(video.world, seed=reid_seed),
-            cost=CostModel(cost_params),
+        cost = CostModel(cost_params)
+        model = SimReIDModel(video.world, seed=reid_seed)
+        if fault_profile is not None and fault_profile.injects_reid_faults:
+            model = fault_profile.wrap_model(model)
+        scorer: ReidScorer | ResilientReidScorer = ReidScorer(
+            model, cost=cost
         )
-        for pairs, gt_keys in zip(video.window_pairs, video.window_gt):
+        if resilience is not None:
+            scorer = ResilientReidScorer(
+                scorer,
+                retry=resilience.retry,
+                breaker_policy=resilience.breaker,
+            )
+        crasher = (
+            fault_profile.window_crasher()
+            if fault_profile is not None
+            and fault_profile.window_crash_rate > 0
+            else None
+        )
+        for index, (pairs, gt_keys) in enumerate(
+            zip(video.window_pairs, video.window_gt)
+        ):
             if not pairs:
                 continue
-            result = merger.run(pairs, scorer)
+            result = run_resilient_window(
+                merger, index, pairs, scorer, cost, resilience, crasher
+            )
+            if result.degraded:
+                degraded_windows += 1
             rec = window_recall(result.candidate_keys, gt_keys)
             if rec is not None:
                 recs.append(rec)
-        total_seconds += scorer.cost.seconds
+        total_seconds += cost.seconds
         total_frames += video.n_frames
 
     avg_rec = sum(recs) / len(recs) if recs else 1.0
@@ -84,6 +120,7 @@ def evaluate_merger(
         fps=fps,
         simulated_seconds=total_seconds,
         parameter=parameter,
+        degraded_windows=degraded_windows,
     )
 
 

@@ -1,0 +1,46 @@
+"""Deterministic fault injection for the TMerge serving stack.
+
+The paper's deployment (§I) puts TMerge between a tracker and a query
+engine, with the ReID model as the expensive external dependency — exactly
+the component that times out, returns garbage embeddings, or goes offline
+in a real serving stack.  This package simulates those failures at
+well-defined seams, driven entirely by injected seeded generators, so
+chaos runs are as reproducible as clean ones.
+
+Companion package: :mod:`repro.resilience` survives what this package
+breaks.
+"""
+
+from repro.faults.errors import (
+    InjectedFault,
+    ReidFaultError,
+    ReidTimeoutError,
+    WindowCrashError,
+)
+from repro.faults.injectors import (
+    ArmedCrash,
+    CORRUPTION_MODES,
+    FaultyReidModel,
+    FeatureCorruptionInjector,
+    FrameDropInjector,
+    ReidCallFaultInjector,
+    WindowCrashInjector,
+)
+from repro.faults.profiles import PROFILES, FaultProfile, fault_profile
+
+__all__ = [
+    "InjectedFault",
+    "ReidFaultError",
+    "ReidTimeoutError",
+    "WindowCrashError",
+    "ArmedCrash",
+    "CORRUPTION_MODES",
+    "FaultyReidModel",
+    "FeatureCorruptionInjector",
+    "FrameDropInjector",
+    "ReidCallFaultInjector",
+    "WindowCrashInjector",
+    "PROFILES",
+    "FaultProfile",
+    "fault_profile",
+]

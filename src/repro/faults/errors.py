@@ -1,0 +1,47 @@
+"""Exception taxonomy of the fault-injection subsystem.
+
+Every injected fault derives from :class:`InjectedFault` so tests and the
+resilience layer can distinguish deliberate chaos from genuine bugs.  The
+hierarchy mirrors how a real serving stack fails around an external ReID
+service:
+
+* :class:`ReidFaultError` — the ReID call itself failed (service error,
+  connection reset); retryable.
+* :class:`ReidTimeoutError` — the call timed out; retryable, but the
+  caller already *paid* for the wait, so the error carries a simulated
+  ``penalty_ms`` the resilience layer charges to the cost clock.
+* :class:`WindowCrashError` — the whole window worker died mid-run;
+  not retryable at the call level, only by re-running the window (ideally
+  from a checkpoint — see :mod:`repro.resilience.checkpoint`).
+"""
+
+from __future__ import annotations
+
+
+class InjectedFault(RuntimeError):
+    """Base class of every deliberately injected failure."""
+
+
+class ReidFaultError(InjectedFault):
+    """A simulated ReID service call failed (transient, retryable)."""
+
+
+class ReidTimeoutError(ReidFaultError):
+    """A simulated ReID call timed out after ``penalty_ms`` of waiting.
+
+    Args:
+        message: human-readable description.
+        penalty_ms: simulated milliseconds the caller waited before the
+            timeout fired; the resilience layer charges this to the
+            :class:`~repro.reid.cost.CostModel` so timeouts are never free.
+    """
+
+    def __init__(self, message: str, penalty_ms: float = 0.0) -> None:
+        super().__init__(message)
+        if penalty_ms < 0:
+            raise ValueError("penalty_ms must be non-negative")
+        self.penalty_ms = float(penalty_ms)
+
+
+class WindowCrashError(InjectedFault):
+    """The worker processing one window died mid-run."""

@@ -692,6 +692,98 @@ class AllExportsResolveRule(Rule):
         return violations
 
 
+class NoHandRolledRetryRule(Rule):
+    """REPRO009 — retries must flow through ``repro.resilience``."""
+
+    rule_id = "REPRO009"
+    title = "no hand-rolled retry loops in library code"
+    rationale = (
+        "A bare `while True: try/except: continue` retry neither charges "
+        "backoff to the simulated clock nor consults the circuit breaker, "
+        "so its cost and failure behavior are invisible to the "
+        "experiments.  Retries belong in `repro.resilience.retry_call`, "
+        "where attempts, penalties and backoff are accounted uniformly."
+    )
+    violating_example = textwrap.dedent(
+        """\
+        def fetch(client) -> float:
+            \"\"\"Fetch.\"\"\"
+            while True:
+                try:
+                    return client.call()
+                except ValueError:
+                    continue
+        """
+    )
+    clean_example = textwrap.dedent(
+        '''\
+        """Fixture."""
+        from repro.resilience import RetryPolicy, retry_call
+
+
+        def fetch(client: object, clock: object) -> float:
+            """Fetch one value, retrying through the shared policy."""
+            return retry_call(client.call, RetryPolicy(), clock)
+        '''
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        """Library code, except the resilience package itself."""
+        return ctx.is_library and ctx.subpackage != "resilience"
+
+    @staticmethod
+    def _is_retry_loop(loop: ast.While | ast.For) -> bool:
+        """A loop retries when a contained handler swallows the failure.
+
+        A handler that re-raises, breaks, or returns escapes the loop and
+        is ordinary error handling; a handler with none of those keeps
+        looping over the same attempt — a retry.
+        """
+        for node in ast.walk(loop):
+            if not isinstance(node, ast.Try):
+                continue
+            for handler in node.handlers:
+                escapes = any(
+                    isinstance(inner, (ast.Raise, ast.Break, ast.Return))
+                    for stmt in handler.body
+                    for inner in ast.walk(stmt)
+                )
+                if not escapes:
+                    return True
+        return False
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> list[Violation]:
+        """Flag ``while``/``for range(...)`` loops that swallow-and-retry."""
+        violations: list[Violation] = []
+        seen: set[int] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.While):
+                loop = node
+            elif (
+                isinstance(node, ast.For)
+                and isinstance(node.iter, ast.Call)
+                and isinstance(node.iter.func, ast.Name)
+                and node.iter.func.id == "range"
+            ):
+                loop = node
+            else:
+                continue
+            if id(loop) in seen:
+                continue
+            seen.add(id(loop))
+            if self._is_retry_loop(loop):
+                violations.append(
+                    self.violation(
+                        ctx,
+                        loop,
+                        "hand-rolled retry loop; route the retry through "
+                        "`repro.resilience.retry_call` so backoff and "
+                        "failures are accounted on the simulated clock",
+                    )
+                )
+        return violations
+
+
 #: Every shipped rule, in rule-id order.  The engine and the tests iterate
 #: this list; registering a new rule means appending here.
 ALL_RULES: tuple[Rule, ...] = (
@@ -703,6 +795,7 @@ ALL_RULES: tuple[Rule, ...] = (
     NoFloatEqualityRule(),
     PublicApiDocsRule(),
     AllExportsResolveRule(),
+    NoHandRolledRetryRule(),
 )
 
 RULES_BY_ID: dict[str, Rule] = {rule.rule_id: rule for rule in ALL_RULES}

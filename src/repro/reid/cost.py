@@ -68,6 +68,8 @@ class CostModel:
         self.n_batch_calls = 0
         self.n_distances = 0
         self.n_overheads = 0
+        self.n_waits = 0
+        self.wait_ms = 0.0
 
     @property
     def seconds(self) -> float:
@@ -121,6 +123,43 @@ class CostModel:
         self.n_overheads += count
         self._ms += count * self.params.overhead_ms
 
+    def charge_wait(self, ms: float) -> None:
+        """Charge ``ms`` of simulated waiting (retry backoff, timeouts).
+
+        The resilience layer accrues every backoff sleep and timeout
+        penalty here, so resilience overhead shows up in the same
+        simulated seconds every figure reports — never in wall time.
+        """
+        if ms < 0:
+            raise ValueError("ms must be non-negative")
+        self.n_waits += 1
+        self.wait_ms += ms
+        self._ms += ms
+
+    def state_dict(self) -> dict[str, float]:
+        """Complete, restorable clock state (for window checkpoints)."""
+        return {
+            "ms": self._ms,
+            "n_extractions": self.n_extractions,
+            "n_batched_extractions": self.n_batched_extractions,
+            "n_batch_calls": self.n_batch_calls,
+            "n_distances": self.n_distances,
+            "n_overheads": self.n_overheads,
+            "n_waits": self.n_waits,
+            "wait_ms": self.wait_ms,
+        }
+
+    def load_state_dict(self, state: dict[str, float]) -> None:
+        """Restore a state captured by :meth:`state_dict`."""
+        self._ms = float(state["ms"])
+        self.n_extractions = int(state["n_extractions"])
+        self.n_batched_extractions = int(state["n_batched_extractions"])
+        self.n_batch_calls = int(state["n_batch_calls"])
+        self.n_distances = int(state["n_distances"])
+        self.n_overheads = int(state["n_overheads"])
+        self.n_waits = int(state["n_waits"])
+        self.wait_ms = float(state["wait_ms"])
+
     def snapshot(self) -> dict[str, float]:
         """Current counters, for reporting."""
         return {
@@ -129,4 +168,6 @@ class CostModel:
             "batched_extractions": float(self.n_batched_extractions),
             "batch_calls": float(self.n_batch_calls),
             "distances": float(self.n_distances),
+            "waits": float(self.n_waits),
+            "wait_ms": self.wait_ms,
         }

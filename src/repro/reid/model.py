@@ -184,6 +184,19 @@ class SimReIDModel:
             return latent.copy()
         return feature / norm
 
+    def rng_state(self) -> dict:
+        """JSON-able state of the extraction noise stream.
+
+        Together with :meth:`set_rng_state` this lets the checkpoint
+        layer resume a crashed window with the exact noise draws the
+        uninterrupted run would have made.
+        """
+        return dict(self._rng.bit_generator.state)
+
+    def set_rng_state(self, state: dict) -> None:
+        """Restore a noise-stream state captured by :meth:`rng_state`."""
+        self._rng.bit_generator.state = state
+
     def tracker_embedder(
         self, noise_multiplier: float = 1.5
     ) -> Callable[[Detection], np.ndarray]:

@@ -18,8 +18,12 @@ normalization is stream-safe (no data-dependent max).
 
 from __future__ import annotations
 
+from collections import OrderedDict
+from collections.abc import Iterator
+
 import numpy as np
 
+from repro import contracts
 from repro.reid.cost import CostModel
 from repro.reid.model import SimReIDModel
 from repro.track.base import Track
@@ -40,10 +44,22 @@ class FeatureCache:
 
     Track IDs must be unique within the scorer's scope (one tracker run);
     the pipeline guarantees this by renumbering TIDs densely per video.
+
+    Args:
+        max_entries: optional capacity bound.  When set, the cache evicts
+            its least-recently-used entry on overflow (long videos no
+            longer grow feature memory without bound); when ``None`` the
+            cache is unbounded and insertion-ordered, exactly as before.
     """
 
-    def __init__(self) -> None:
-        self._features: dict[FeatureKey, np.ndarray] = {}
+    def __init__(self, max_entries: int | None = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 (or None)")
+        self.max_entries = max_entries
+        self._features: OrderedDict[FeatureKey, np.ndarray] = OrderedDict()
+        self.n_hits = 0
+        self.n_misses = 0
+        self.n_evictions = 0
 
     def __len__(self) -> int:
         return len(self._features)
@@ -53,15 +69,53 @@ class FeatureCache:
 
     def get(self, key: FeatureKey) -> np.ndarray | None:
         """Cached feature for ``key``, or ``None`` on a miss."""
-        return self._features.get(key)
+        feature = self._features.get(key)
+        if feature is None:
+            self.n_misses += 1
+            return None
+        self.n_hits += 1
+        if self.max_entries is not None:
+            self._features.move_to_end(key)
+        return feature
 
     def put(self, key: FeatureKey, feature: np.ndarray) -> None:
-        """Store ``feature`` under ``key``."""
+        """Store ``feature`` under ``key``, evicting LRU on overflow."""
+        if key in self._features:
+            self._features[key] = feature
+            if self.max_entries is not None:
+                self._features.move_to_end(key)
+            return
         self._features[key] = feature
+        if (
+            self.max_entries is not None
+            and len(self._features) > self.max_entries
+        ):
+            self._features.popitem(last=False)
+            self.n_evictions += 1
+
+    def discard(self, key: FeatureKey) -> bool:
+        """Drop ``key`` if cached; return whether an entry was removed."""
+        return self._features.pop(key, None) is not None
 
     def clear(self) -> None:
-        """Drop all cached features."""
+        """Drop all cached features (counters are kept)."""
         self._features.clear()
+
+    def items(self) -> Iterator[tuple[FeatureKey, np.ndarray]]:
+        """Iterate ``(key, feature)`` pairs in recency (or insertion) order."""
+        return iter(self._features.items())
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/eviction counters plus current occupancy."""
+        return {
+            "hits": self.n_hits,
+            "misses": self.n_misses,
+            "evictions": self.n_evictions,
+            "entries": len(self._features),
+            "max_entries": (
+                -1 if self.max_entries is None else self.max_entries
+            ),
+        }
 
 
 class ReidScorer:
@@ -82,7 +136,27 @@ class ReidScorer:
     ) -> None:
         self.model = model
         self.cost = cost or CostModel()
-        self.cache = cache or FeatureCache()
+        # Not `cache or ...`: an empty FeatureCache is falsy (len 0).
+        self.cache = cache if cache is not None else FeatureCache()
+        #: Non-finite distances clamped by :meth:`_sanitize_distance`
+        #: (only ever non-zero when a faulty model is injected and the
+        #: resilience layer is not interposed).
+        self.n_nonfinite_clamped = 0
+
+    def _sanitize_distance(self, distance: float, where: str) -> float:
+        """Defend against non-finite distances from corrupted features.
+
+        Under ``REPRO_CHECK_INVARIANTS=1`` a non-finite distance raises
+        a :class:`~repro.contracts.ContractViolation`; otherwise it is
+        clamped to the maximum distance (treat corrupted evidence as
+        "not a match") and counted in :attr:`n_nonfinite_clamped`.
+        """
+        if np.isfinite(distance):
+            return float(distance)
+        if contracts.ENABLED:
+            contracts.check_finite_distance(distance, where=where)
+        self.n_nonfinite_clamped += 1
+        return _MAX_DISTANCE
 
     # ------------------------------------------------------------------
     # Unbatched path
@@ -128,9 +202,17 @@ class ReidScorer:
     def normalized_distance(
         self, track_a: Track, index_a: int, track_b: Track, index_b: int
     ) -> float:
-        """The paper's normalized distance d̃ ∈ [0, 1]."""
+        """The paper's normalized distance d̃ ∈ [0, 1].
+
+        Non-finite raw distances (corrupted embeddings) raise under
+        runtime contracts and are clamped to the maximum otherwise —
+        NaN never reaches the posterior updates.
+        """
         return normalize_distance(
-            self.distance(track_a, index_a, track_b, index_b)
+            self._sanitize_distance(
+                self.distance(track_a, index_a, track_b, index_b),
+                where="ReidScorer.normalized_distance",
+            )
         )
 
     # ------------------------------------------------------------------
@@ -145,7 +227,14 @@ class ReidScorer:
         batch law when ``batch_size`` is given.
         """
         keys = [(track.track_id, i) for i in range(len(track))]
-        missing = [i for i, key in enumerate(keys) if key not in self.cache]
+        features: dict[FeatureKey, np.ndarray] = {}
+        missing = []
+        for i, key in enumerate(keys):
+            cached = self.cache.get(key)
+            if cached is None:
+                missing.append(i)
+            else:
+                features[key] = cached
         if missing:
             if batch_size is None:
                 self.cost.charge_extract(len(missing))
@@ -155,8 +244,10 @@ class ReidScorer:
                 )
             for i in missing:
                 detection = track.observations[i].detection
-                self.cache.put(keys[i], self.model.extract(detection))
-        return np.stack([self.cache.get(key) for key in keys])
+                feature = self.model.extract(detection)
+                self.cache.put(keys[i], feature)
+                features[keys[i]] = feature
+        return np.stack([features[key] for key in keys])
 
     def pair_distance_matrix(
         self,
@@ -207,13 +298,21 @@ class ReidScorer:
         if not requests:
             return []
 
-        # Identify the distinct uncached features needed.
+        # Identify the distinct uncached features needed, keeping every
+        # feature this call touches in a local map so results cannot be
+        # invalidated by LRU eviction mid-call.
+        features: dict[FeatureKey, np.ndarray] = {}
         needed: dict[FeatureKey, tuple[Track, int]] = {}
         for track_a, ia, track_b, ib in requests:
             for track, idx in ((track_a, ia), (track_b, ib)):
                 key = (track.track_id, idx)
-                if key not in self.cache and key not in needed:
+                if key in features or key in needed:
+                    continue
+                cached = self.cache.get(key)
+                if cached is None:
                     needed[key] = (track, idx)
+                else:
+                    features[key] = cached
 
         if needed:
             self.cost.charge_extract_batched(
@@ -221,13 +320,15 @@ class ReidScorer:
             )
             for key, (track, idx) in needed.items():
                 detection = track.observations[idx].detection
-                self.cache.put(key, self.model.extract(detection))
+                feature = self.model.extract(detection)
+                self.cache.put(key, feature)
+                features[key] = feature
 
         self.cost.charge_distance(len(requests))
         distances = []
         for track_a, ia, track_b, ib in requests:
-            fa = self.cache.get((track_a.track_id, ia))
-            fb = self.cache.get((track_b.track_id, ib))
+            fa = features[(track_a.track_id, ia)]
+            fb = features[(track_b.track_id, ib)]
             distances.append(float(np.linalg.norm(fa - fb)))
         return distances
 
@@ -261,8 +362,15 @@ class ReidScorer:
         requests: list[tuple[Track, int, Track, int]],
         batch_size: int,
     ) -> list[float]:
-        """Batched variant returning normalized distances d̃ ∈ [0, 1]."""
+        """Batched variant returning normalized distances d̃ ∈ [0, 1].
+
+        Applies the same non-finite defense as :meth:`normalized_distance`.
+        """
         return [
-            normalize_distance(d)
+            normalize_distance(
+                self._sanitize_distance(
+                    d, where="ReidScorer.normalized_distances_batched"
+                )
+            )
             for d in self.distances_batched(requests, batch_size)
         ]

@@ -1,0 +1,39 @@
+"""Exceptions raised by the resilience layer itself.
+
+These mark *handled* failure: the layer retried, backed off, or tripped
+the breaker, and is now telling the caller that the dependency is
+unavailable.  Callers (TMerge, the pipeline) catch
+:data:`REID_UNAVAILABLE` to enter degraded mode instead of aborting.
+"""
+
+from __future__ import annotations
+
+
+class ResilienceError(RuntimeError):
+    """Base class for resilience-layer failures."""
+
+
+class CircuitOpenError(ResilienceError):
+    """The circuit breaker is open: calls fail fast without being tried."""
+
+
+class ReidUnavailableError(ResilienceError):
+    """Every retry of a ReID call failed; the dependency is down."""
+
+
+class CorruptFeatureError(ResilienceError):
+    """A scorer response came back non-finite (corrupted embedding).
+
+    Raised by :class:`~repro.resilience.scorer.ResilientReidScorer` after
+    it evicts the offending cache entries, so the retry re-extracts fresh
+    features instead of replaying the poisoned cache.
+    """
+
+
+class RetriesExhaustedError(ResilienceError):
+    """A :func:`~repro.resilience.retry.retry_call` ran out of attempts."""
+
+
+#: The exception pair that means "ReID cannot be reached right now" —
+#: what degraded-mode fallbacks catch.
+REID_UNAVAILABLE = (CircuitOpenError, ReidUnavailableError)

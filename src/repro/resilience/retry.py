@@ -1,0 +1,99 @@
+"""Retry with exponential backoff on the *simulated* clock.
+
+This module is the sanctioned retry primitive of the repo: lint rule
+REPRO009 forbids hand-rolled ``while True: try/except`` retry loops in
+library code precisely so every retry flows through here, where backoff
+is charged to the :class:`~repro.reid.cost.CostModel` (never wall time —
+REPRO002) and attempt accounting is uniform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+from repro.faults.errors import ReidFaultError
+from repro.resilience.errors import RetriesExhaustedError
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How to retry a transient failure.
+
+    Attributes:
+        max_attempts: total tries, including the first (≥ 1).
+        backoff_base_ms: simulated backoff before the second attempt.
+        backoff_multiplier: exponential growth factor per further attempt.
+        retry_on: exception types considered transient; anything else
+            propagates immediately.
+    """
+
+    max_attempts: int = 3
+    backoff_base_ms: float = 50.0
+    backoff_multiplier: float = 2.0
+    retry_on: tuple[type[BaseException], ...] = (ReidFaultError,)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base_ms < 0:
+            raise ValueError("backoff_base_ms must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be >= 1")
+        if not self.retry_on:
+            raise ValueError("retry_on must name at least one exception")
+
+    def backoff_ms(self, attempt: int) -> float:
+        """Simulated backoff after the ``attempt``-th failure (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt must be >= 1")
+        return self.backoff_base_ms * self.backoff_multiplier ** (attempt - 1)
+
+
+def retry_call(
+    fn: Callable[[], T],
+    policy: RetryPolicy,
+    clock,
+    on_failure: Callable[[BaseException], None] | None = None,
+) -> T:
+    """Call ``fn`` under ``policy``, charging backoff to ``clock``.
+
+    Timeout-style faults that carry a ``penalty_ms`` attribute (see
+    :class:`~repro.faults.errors.ReidTimeoutError`) additionally charge
+    that penalty — a timed-out call is never free.
+
+    Args:
+        fn: the zero-argument operation to attempt.
+        policy: retry configuration.
+        clock: a :class:`~repro.reid.cost.CostModel` (or anything with
+            ``charge_wait``).
+        on_failure: optional observer invoked with each transient failure
+            (the circuit breaker hooks in here).
+
+    Returns:
+        ``fn()``'s result from the first successful attempt.
+
+    Raises:
+        RetriesExhaustedError: when every attempt failed transiently; the
+            last failure is chained as ``__cause__``.
+    """
+    last: BaseException | None = None
+    for attempt in range(1, policy.max_attempts + 1):
+        try:
+            return fn()
+        except policy.retry_on as exc:
+            last = exc
+            penalty = float(getattr(exc, "penalty_ms", 0.0))
+            if penalty > 0:
+                clock.charge_wait(penalty)
+            if on_failure is not None:
+                on_failure(exc)
+            if attempt < policy.max_attempts:
+                backoff = policy.backoff_ms(attempt)
+                if backoff > 0:
+                    clock.charge_wait(backoff)
+    raise RetriesExhaustedError(
+        f"{policy.max_attempts} attempts failed; last: {last!r}"
+    ) from last

@@ -1,0 +1,73 @@
+"""Chaos smoke for the CI fault-injection matrix.
+
+The workflow's ``chaos`` job runs this module once per shipped fault
+profile with ``REPRO_FAULT_PROFILE=<name>`` (and runtime contracts on);
+locally it defaults to ``flaky-reid``.  The assertion is deliberately
+coarse — the pipeline must *complete* end to end under the profile and
+produce structurally valid output — because the precise behaviours
+(retry accounting, bit-exact resume, degradation floors) are pinned down
+in ``test_resilience.py``.
+"""
+
+import os
+
+import pytest
+
+from helpers import tiny_world
+
+from repro.core.pipeline import IngestionPipeline
+from repro.core.tmerge import TMerge
+from repro.faults import fault_profile
+from repro.resilience import CheckpointStore
+from repro.track import TracktorTracker
+
+PROFILE_NAME = os.environ.get("REPRO_FAULT_PROFILE", "flaky-reid")
+
+
+@pytest.fixture(scope="module")
+def chaos_world():
+    return tiny_world(n_frames=240, seed=21, initial_objects=6,
+                      max_objects=10, spawn_rate=0.03)
+
+
+def test_pipeline_survives_profile(chaos_world):
+    profile = fault_profile(PROFILE_NAME, seed=13)
+    pipeline = IngestionPipeline(
+        tracker=TracktorTracker(),
+        merger=TMerge(
+            k=0.1,
+            tau_max=300,
+            batch_size=10,
+            seed=3,
+            checkpoint_interval=25,
+            checkpoint_store=CheckpointStore(),
+        ),
+        window_length=300,
+        fault_profile=profile,
+    )
+    result = pipeline.run(chaos_world)
+
+    assert len(result.detections) == chaos_world.n_frames
+    assert len(result.window_results) == len(result.windows)
+    for window_result in result.window_results:
+        assert all(0.0 <= v <= 1.0 for v in window_result.scores.values())
+        assert len(window_result.candidates) <= window_result.n_pairs
+    assert set(result.id_map) == {t.track_id for t in result.tracks}
+    assert result.cost.seconds >= 0.0
+
+
+def test_profile_run_is_reproducible(chaos_world):
+    def run():
+        pipeline = IngestionPipeline(
+            tracker=TracktorTracker(),
+            merger=TMerge(k=0.1, tau_max=200, batch_size=10, seed=3),
+            window_length=300,
+            fault_profile=fault_profile(PROFILE_NAME, seed=13),
+        )
+        result = pipeline.run(chaos_world)
+        return (
+            [r.candidate_keys for r in result.window_results],
+            result.cost.seconds,
+        )
+
+    assert run() == run()

@@ -94,6 +94,8 @@ class TestCostModel:
             "batched_extractions",
             "batch_calls",
             "distances",
+            "waits",
+            "wait_ms",
         }
 
 

@@ -58,6 +58,115 @@ class TestFeatureCache:
         cache.clear()
         assert len(cache) == 0
 
+    def test_unbounded_never_evicts(self):
+        cache = FeatureCache()
+        for i in range(1000):
+            cache.put((0, i), np.full(2, float(i)))
+        assert len(cache) == 1000
+        assert cache.n_evictions == 0
+        assert cache.stats()["max_entries"] == -1
+
+    def test_bounded_evicts_least_recently_used(self):
+        cache = FeatureCache(max_entries=2)
+        cache.put((0, 0), np.zeros(2))
+        cache.put((0, 1), np.ones(2))
+        assert cache.get((0, 0)) is not None  # (0, 0) now most recent
+        cache.put((0, 2), np.full(2, 2.0))  # evicts (0, 1)
+        assert (0, 1) not in cache
+        assert (0, 0) in cache and (0, 2) in cache
+        assert cache.n_evictions == 1
+
+    def test_put_refreshes_recency(self):
+        cache = FeatureCache(max_entries=2)
+        cache.put((0, 0), np.zeros(2))
+        cache.put((0, 1), np.ones(2))
+        cache.put((0, 0), np.full(2, 9.0))  # update, not insert
+        cache.put((0, 2), np.full(2, 2.0))  # evicts (0, 1)
+        assert (0, 0) in cache
+        assert (0, 1) not in cache
+        assert np.allclose(cache.get((0, 0)), 9.0)
+
+    def test_stats_counters(self):
+        cache = FeatureCache(max_entries=1)
+        assert cache.get((0, 0)) is None
+        cache.put((0, 0), np.zeros(2))
+        cache.get((0, 0))
+        cache.put((0, 1), np.ones(2))
+        stats = cache.stats()
+        assert stats == {
+            "hits": 1,
+            "misses": 1,
+            "evictions": 1,
+            "entries": 1,
+            "max_entries": 1,
+        }
+
+    def test_discard(self):
+        cache = FeatureCache()
+        cache.put((0, 0), np.zeros(2))
+        assert cache.discard((0, 0))
+        assert not cache.discard((0, 0))
+        assert (0, 0) not in cache
+
+    def test_clear_keeps_counters(self):
+        cache = FeatureCache(max_entries=1)
+        cache.put((0, 0), np.zeros(2))
+        cache.put((0, 1), np.ones(2))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.n_evictions == 1
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureCache(max_entries=0)
+
+
+class TestBoundedScorer:
+    def test_scorer_correct_under_tiny_cache(self, scorer_world):
+        """LRU eviction changes cost, never correctness: distances match
+        an unbounded scorer's bit-for-bit on a noise-free model."""
+        from helpers import StubReidModel
+
+        track_a, track_b = tracks_for(scorer_world)
+        unbounded = ReidScorer(StubReidModel(), cost=CostModel())
+        bounded = ReidScorer(
+            StubReidModel(),
+            cost=CostModel(),
+            cache=FeatureCache(max_entries=2),
+        )
+        requests = [
+            (track_a, i, track_b, j) for i in range(4) for j in range(4)
+        ]
+        expected = [unbounded.distance(*r) for r in requests]
+        actual = [bounded.distance(*r) for r in requests]
+        assert actual == expected
+        assert bounded.cache.n_evictions > 0
+        assert bounded.cost.n_extractions >= unbounded.cost.n_extractions
+
+    def test_nonfinite_distance_clamped_when_contracts_off(self, scorer_world):
+        from repro import contracts
+
+        scorer = make_scorer(scorer_world)
+        previous = contracts.set_enabled(False)
+        try:
+            value = scorer._sanitize_distance(float("nan"), where="test")
+        finally:
+            contracts.set_enabled(previous)
+        assert value == 2.0
+        assert scorer.n_nonfinite_clamped == 1
+
+    def test_nonfinite_distance_raises_under_contracts(self, scorer_world):
+        from repro import contracts
+
+        scorer = make_scorer(scorer_world)
+        previous = contracts.set_enabled(True)
+        try:
+            with pytest.raises(contracts.ContractViolation):
+                scorer._sanitize_distance(float("inf"), where="test")
+        finally:
+            contracts.set_enabled(previous)
+        assert scorer.n_nonfinite_clamped == 0
+
 
 class TestCachingBehaviour:
     def test_feature_extracted_once(self, scorer_world):

@@ -91,3 +91,56 @@ class TestUlbPruner:
         means = np.array([0.1, 0.5, 0.9])
         pulls = np.array([1000] * 3)
         assert pruner.update(means, pulls, 1000) == (set(), set())
+
+
+class TestNonFiniteMeans:
+    def test_clamped_and_counted_when_contracts_off(self):
+        from repro import contracts
+
+        pruner = UlbPruner(3, 1)
+        means = np.array([0.05, np.nan, 0.9])
+        pulls = np.array([5000] * 3)
+        previous = contracts.set_enabled(False)
+        try:
+            accepted, rejected = pruner.update(means, pulls, 5000)
+        finally:
+            contracts.set_enabled(previous)
+        assert pruner.n_nonfinite_clamped == 1
+        # The corrupted arm behaves as maximally distant: never accepted.
+        assert 1 not in accepted
+
+    def test_raises_under_contracts(self):
+        from repro import contracts
+
+        pruner = UlbPruner(3, 1)
+        means = np.array([0.05, np.inf, 0.9])
+        pulls = np.array([5000] * 3)
+        previous = contracts.set_enabled(True)
+        try:
+            with pytest.raises(contracts.ContractViolation):
+                pruner.update(means, pulls, 5000)
+        finally:
+            contracts.set_enabled(previous)
+
+    def test_unsampled_nan_means_ignored(self):
+        """Arms never pulled may carry NaN means without tripping the
+        guard (their evidence is never consulted)."""
+        pruner = UlbPruner(3, 1)
+        means = np.array([0.05, np.nan, 0.9])
+        pulls = np.array([5000, 0, 5000])
+        pruner.update(means, pulls, 5000)
+        assert pruner.n_nonfinite_clamped == 0
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        pruner = UlbPruner(4, 1)
+        means = np.array([0.05, 0.8, 0.85, 0.9])
+        pulls = np.array([5000] * 4)
+        pruner.update(means, pulls, 5000)
+        saved = pruner.state_dict()
+        other = UlbPruner(4, 1)
+        other.load_state_dict(saved)
+        assert other.accepted == pruner.accepted
+        assert other.rejected == pruner.rejected
+        assert other.state_dict() == saved
