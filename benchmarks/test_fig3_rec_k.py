@@ -2,19 +2,28 @@
 
 Paper shape: REC rises steeply with K and exceeds ~0.95 by K ≈ 0.05-0.085
 on every dataset, so a small inspection budget suffices.
+
+This bench also feeds the CI regression gate: the exhaustive scorer runs
+under an injected :class:`~repro.telemetry.Telemetry`, and the resulting
+recall / ReID-invocation / simulated-ms totals land in
+``bench_summary.json`` (see conftest).
 """
 
-from conftest import publish
+from conftest import SMOKE, publish, record_summary
 
 from repro.experiments.figures import fig3_rec_k
 from repro.experiments.reporting import format_table
+from repro.telemetry import Telemetry
 
 KS = (0.005, 0.01, 0.02, 0.05, 0.1, 0.2)
 
 
 def test_fig3_rec_k_curves(benchmark, datasets):
+    telemetry = Telemetry()
     curves = benchmark.pedantic(
-        lambda: fig3_rec_k(datasets, ks=KS), rounds=1, iterations=1
+        lambda: fig3_rec_k(datasets, ks=KS, telemetry=telemetry),
+        rounds=1,
+        iterations=1,
     )
 
     rows = []
@@ -27,12 +36,20 @@ def test_fig3_rec_k_curves(benchmark, datasets):
             ["dataset", "K", "REC"], rows, title="Figure 3 — REC-K (BL)"
         ),
     )
+    rec_at_headline_k = [dict(points)[0.05] for points in curves.values()]
+    record_summary(
+        "fig3_rec_k",
+        recall=sum(rec_at_headline_k) / len(rec_at_headline_k),
+        reid_invocations=telemetry.metrics.value("reid.invocations"),
+        simulated_ms=telemetry.metrics.value("cost.simulated_ms"),
+    )
 
     for dataset, points in curves.items():
         by_k = dict(points)
         # Monotone non-decreasing in K.
         values = [rec for _, rec in points]
         assert all(a <= b + 1e-9 for a, b in zip(values, values[1:])), dataset
-        # The paper's headline: small K already yields high recall.
-        assert by_k[0.05] >= 0.85, dataset
-        assert by_k[0.2] >= by_k[0.05]
+        if not SMOKE:
+            # The paper's headline: small K already yields high recall.
+            assert by_k[0.05] >= 0.85, dataset
+            assert by_k[0.2] >= by_k[0.05]

@@ -2,9 +2,14 @@
 
 Paper shape (MOT-17): TMerge > LCB > PS > BL unbatched; batched TMerge-B
 widens the gap further, with B=100 beating B=10.
+
+The TMerge sweeps (unbatched + both batched variants) also feed the CI
+regression gate: their best recall and total ReID-invocation count land
+in ``bench_summary.json`` (see conftest).  Smoke mode shrinks the sweep
+grids and skips the paper-shape assertions.
 """
 
-from conftest import publish
+from conftest import SMOKE, publish, record_summary
 
 from repro.experiments.figures import (
     fig6_batched,
@@ -14,9 +19,14 @@ from repro.experiments.figures import (
 from repro.experiments.reporting import format_table
 from repro.experiments.sweeps import rec_fps_sweep
 
-TAUS = (2000, 5000, 10000, 20000, 40000)
-ETAS = (0.0003, 0.001, 0.003, 0.01)
-BATCH_TAUS = (250, 500, 1000, 2000, 4000)
+if SMOKE:
+    TAUS = (2000, 10000)
+    ETAS = (0.001,)
+    BATCH_TAUS = (250, 1000)
+else:
+    TAUS = (2000, 5000, 10000, 20000, 40000)
+    ETAS = (0.0003, 0.001, 0.003, 0.01)
+    BATCH_TAUS = (250, 500, 1000, 2000, 4000)
 REC_TARGETS = (0.80, 0.93)
 
 
@@ -45,6 +55,25 @@ def test_table2_fps_at_rec(benchmark, mot17_videos):
         ),
     )
 
+    tmerge_sweeps = [unbatched["TMerge"]] + [
+        points
+        for name, points in batched.items()
+        if name.startswith("TMerge-B")
+    ]
+    record_summary(
+        "table2_tmerge",
+        recall=max(p.rec for p in unbatched["TMerge"]),
+        reid_invocations=sum(
+            p.reid_invocations for sweep in tmerge_sweeps for p in sweep
+        ),
+        simulated_ms=sum(
+            p.simulated_seconds for sweep in tmerge_sweeps for p in sweep
+        )
+        * 1000.0,
+    )
+
+    if SMOKE:
+        return
     fps = {row[0]: row[1] for row in rows}  # at REC=0.80
     assert fps["TMerge"] is not None
     assert fps["BL"] is not None

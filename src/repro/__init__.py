@@ -101,6 +101,13 @@ from repro.resilience import (
     RetryPolicy,
     retry_call,
 )
+from repro.telemetry import (
+    MetricsRegistry,
+    Profiler,
+    Telemetry,
+    Tracer,
+    profiled,
+)
 
 __version__ = "1.0.0"
 
@@ -170,4 +177,9 @@ __all__ = [
     "ResilientReidScorer",
     "RetryPolicy",
     "retry_call",
+    "MetricsRegistry",
+    "Profiler",
+    "Telemetry",
+    "Tracer",
+    "profiled",
 ]

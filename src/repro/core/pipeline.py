@@ -8,6 +8,7 @@ together and returns everything the evaluation and query layers need.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Protocol
 
@@ -30,6 +31,7 @@ from repro.resilience import (
     retry_call,
 )
 from repro.synth.world import VideoGroundTruth
+from repro.telemetry import MetricsRegistry, Telemetry
 from repro.track.base import Track, Tracker
 
 #: Prior means mirroring BetaInit (see :mod:`repro.core.tmerge`): the
@@ -162,6 +164,9 @@ class IngestionResult:
         cost: the simulated cost model (shared across windows).
         resilience_stats: counters from the resilience layer (empty when
             the pipeline ran without one).
+        window_metrics: per-window telemetry counter deltas (one dict per
+            window, keys like ``reid.invocations``; empty when the
+            pipeline ran without an injected telemetry).
     """
 
     world: VideoGroundTruth
@@ -174,6 +179,7 @@ class IngestionResult:
     id_map: dict[int, int]
     cost: CostModel
     resilience_stats: dict[str, float] = field(default_factory=dict)
+    window_metrics: list[dict[str, float]] = field(default_factory=list)
 
     @property
     def degraded_windows(self) -> list[int]:
@@ -232,6 +238,13 @@ class IngestionPipeline:
         resilience: retry/breaker/window-retry tuning; defaults to
             :class:`~repro.resilience.ResilientReidScorer` defaults when
             a fault profile is set, stays off otherwise.
+        telemetry: optional injected :class:`~repro.telemetry.Telemetry`.
+            When set, every component of the run records into it
+            (ReID-cost counters, cache hits, bandit draws, fault and
+            breaker events), windows run inside ``window`` spans on the
+            simulated clock, and :attr:`IngestionResult.window_metrics`
+            carries per-window counter deltas.  Telemetry is pure
+            observation — results are bit-identical with it on or off.
     """
 
     tracker: Tracker
@@ -245,6 +258,7 @@ class IngestionPipeline:
     l_max: int | None = None
     fault_profile: FaultProfile | None = None
     resilience: ResilienceConfig | None = None
+    telemetry: Telemetry | None = None
 
     def _resilience(self) -> ResilienceConfig | None:
         """The effective resilience config (auto-on under a fault profile)."""
@@ -261,7 +275,9 @@ class IngestionPipeline:
             self.fault_profile is not None
             and self.fault_profile.frame_drop_rate > 0
         ):
-            detections = self.fault_profile.frame_injector().apply(detections)
+            frame_injector = self.fault_profile.frame_injector()
+            frame_injector.telemetry = self.telemetry
+            detections = frame_injector.apply(detections)
         tracks = self.tracker.run(detections)
         return self.run_on_tracks(world, detections, tracks)
 
@@ -273,14 +289,22 @@ class IngestionPipeline:
     ) -> IngestionResult:
         """Ingest starting from precomputed tracks (lets experiments share
         one tracker run across many merger configurations)."""
-        cost = CostModel(self.cost_params)
+        telemetry = self.telemetry
+        cost = CostModel(self.cost_params, telemetry=telemetry)
+        if telemetry is not None:
+            telemetry.bind_clock(cost)
         model = SimReIDModel(world, seed=self.reid_seed)
         if (
             self.fault_profile is not None
             and self.fault_profile.injects_reid_faults
         ):
             model = self.fault_profile.wrap_model(model)
-        scorer: ReidScorer | ResilientReidScorer = ReidScorer(model, cost=cost)
+            for injector in (model.call_injector, model.corruption_injector):
+                if injector is not None:
+                    injector.telemetry = telemetry
+        scorer: ReidScorer | ResilientReidScorer = ReidScorer(
+            model, cost=cost, telemetry=telemetry
+        )
         resilience = self._resilience()
         if resilience is not None:
             scorer = ResilientReidScorer(
@@ -294,6 +318,8 @@ class IngestionPipeline:
             and self.fault_profile.window_crash_rate > 0
             else None
         )
+        if crasher is not None:
+            crasher.telemetry = telemetry
 
         windows = partition_windows(
             world.n_frames, self.window_length, l_max=self.l_max
@@ -302,33 +328,62 @@ class IngestionPipeline:
 
         window_pairs: list[list[TrackPair]] = []
         window_results: list[MergeResult] = []
-        for c in range(len(windows)):
-            pairs = build_track_pairs(
-                windowed.tracks_of(c), windowed.previous_tracks_of(c)
+        window_metrics: list[dict[str, float]] = []
+        ingest_span = (
+            telemetry.span(
+                "ingest",
+                method=self.merger.name,
+                n_windows=len(windows),
+                n_tracks=len(tracks),
             )
-            window_pairs.append(pairs)
-            if pairs:
-                result = self._run_window(
-                    c, pairs, scorer, cost, resilience, crasher
+            if telemetry is not None
+            else nullcontext()
+        )
+        with ingest_span:
+            for c in range(len(windows)):
+                pairs = build_track_pairs(
+                    windowed.tracks_of(c), windowed.previous_tracks_of(c)
                 )
-                if contracts.ENABLED:
-                    contracts.check_top_k_budget(
-                        len(result.candidates),
-                        len(pairs),
-                        where="IngestionPipeline",
-                    )
-                window_results.append(result)
-            else:
-                window_results.append(
-                    MergeResult(
-                        method=self.merger.name,
-                        candidates=[],
-                        scores={},
-                        n_pairs=0,
-                        k=getattr(self.merger, "k", 0.0),
-                        simulated_seconds=0.0,
-                    )
+                window_pairs.append(pairs)
+                before = (
+                    telemetry.metrics.counters_snapshot()
+                    if telemetry is not None
+                    else None
                 )
+                window_span = (
+                    telemetry.span("window", window_id=c, n_pairs=len(pairs))
+                    if telemetry is not None
+                    else nullcontext()
+                )
+                with window_span:
+                    if pairs:
+                        result = self._run_window(
+                            c, pairs, scorer, cost, resilience, crasher
+                        )
+                        if contracts.ENABLED:
+                            contracts.check_top_k_budget(
+                                len(result.candidates),
+                                len(pairs),
+                                where="IngestionPipeline",
+                            )
+                        window_results.append(result)
+                    else:
+                        window_results.append(
+                            MergeResult(
+                                method=self.merger.name,
+                                candidates=[],
+                                scores={},
+                                n_pairs=0,
+                                k=getattr(self.merger, "k", 0.0),
+                                simulated_seconds=0.0,
+                            )
+                        )
+                if telemetry is not None:
+                    window_metrics.append(
+                        MetricsRegistry.delta(
+                            telemetry.metrics.counters_snapshot(), before
+                        )
+                    )
 
         selected = []
         for result in window_results:
@@ -356,6 +411,7 @@ class IngestionPipeline:
                 if isinstance(scorer, ResilientReidScorer)
                 else {}
             ),
+            window_metrics=window_metrics,
         )
 
     def _run_window(

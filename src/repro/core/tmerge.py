@@ -30,6 +30,7 @@ from repro.resilience import (
     restore_generator_state,
     restore_scorer_state,
 )
+from repro.telemetry import Telemetry, profiled
 
 _POSTERIORS = ("beta", "gaussian")
 
@@ -82,6 +83,13 @@ class TMerge:
             :class:`~repro.resilience.checkpoint.CheckpointStore` holding
             snapshots; an initial snapshot is always written at τ=0 so
             even an early crash rewinds the simulated clock correctly.
+        telemetry: optional injected :class:`~repro.telemetry.Telemetry`.
+            When ``None`` the run falls back to the scorer's sink, so the
+            bandit's counters (``tmerge.thompson_draws``,
+            ``ulb.accepted`` …) land next to the ReID-cost counters
+            without any extra plumbing.  Telemetry never touches the RNG
+            or the simulated clock: results are bit-identical with it on
+            or off.
     """
 
     def __init__(
@@ -98,6 +106,7 @@ class TMerge:
         s_min: float | None = None,
         checkpoint_interval: int | None = None,
         checkpoint_store: CheckpointStore | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         if not 0.0 <= k <= 1.0:
             raise ValueError("k must be in [0, 1]")
@@ -127,6 +136,7 @@ class TMerge:
         self.s_min = s_min
         self.checkpoint_interval = checkpoint_interval
         self.checkpoint_store = checkpoint_store
+        self.telemetry = telemetry
 
     @property
     def name(self) -> str:
@@ -139,6 +149,7 @@ class TMerge:
         return f"{base}-B{self.batch_size}"
 
     # ------------------------------------------------------------------
+    @profiled
     def run(self, pairs: list[TrackPair], scorer: ReidScorer) -> MergeResult:
         """Identify the estimated top-⌈K·|P_c|⌉ polyonymous candidates.
 
@@ -150,6 +161,24 @@ class TMerge:
         best candidates supportable by the evidence gathered so far, with
         ``degraded=True``.
         """
+        telemetry = self.telemetry
+        if telemetry is None:
+            telemetry = getattr(scorer, "telemetry", None)
+        if telemetry is None:
+            return self._run(pairs, scorer, None)
+        telemetry.bind_clock(scorer.cost)
+        with telemetry.span(
+            "tmerge.run", method=self.name, n_pairs=len(pairs)
+        ):
+            return self._run(pairs, scorer, telemetry)
+
+    def _run(
+        self,
+        pairs: list[TrackPair],
+        scorer: ReidScorer,
+        telemetry: Telemetry | None,
+    ) -> MergeResult:
+        """The sampling loop behind :meth:`run` (one traced span)."""
         rng = np.random.default_rng(self.seed)
         start_seconds = scorer.cost.seconds
         n = len(pairs)
@@ -172,7 +201,12 @@ class TMerge:
         counts = np.zeros(n, dtype=np.int64)
         eligible = np.array([p.n_bbox_pairs > 0 for p in pairs])
         pruner = (
-            UlbPruner(n, budget, radius_scale=self.ulb_scale)
+            UlbPruner(
+                n,
+                budget,
+                radius_scale=self.ulb_scale,
+                telemetry=telemetry,
+            )
             if self.use_ulb
             else None
         )
@@ -223,10 +257,17 @@ class TMerge:
             selected = self._select_arms(
                 live, successes, failures, gauss_mean, gauss_var, rng
             )
+            if telemetry is not None:
+                # One posterior draw per live arm per iteration, batched
+                # or not — this is the figure the bench gate watches
+                # alongside reid.invocations.
+                telemetry.count("tmerge.thompson_draws", live.size)
             try:
                 observations = self._evaluate(pairs, selected, scorer, rng)
             except REID_UNAVAILABLE:
                 degraded = True
+                if telemetry is not None:
+                    telemetry.count("tmerge.degraded_windows")
                 break
 
             for arm, d_norm in observations:
@@ -256,6 +297,8 @@ class TMerge:
 
             scorer.cost.charge_overhead(1)
             iterations = tau
+            if telemetry is not None:
+                telemetry.count("tmerge.iterations")
 
             if pruner is not None and tau % self.ulb_interval == 0:
                 means = np.where(counts > 0, sums / np.maximum(counts, 1), 0.5)

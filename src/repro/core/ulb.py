@@ -16,6 +16,7 @@ import numpy as np
 
 from repro import contracts
 from repro.bandit.confidence import hoeffding_radius
+from repro.telemetry import Telemetry
 
 
 class UlbPruner:
@@ -32,10 +33,17 @@ class UlbPruner:
             counts.  Values < 1 correspond to a sub-gaussian radius with
             σ = radius_scale (an empirical-Bernstein-style tightening) and
             make the mechanism observable; the Figure 8 ablation uses this.
+        telemetry: optional injected :class:`~repro.telemetry.Telemetry`
+            mirroring prune verdicts into the ``ulb.passes`` /
+            ``ulb.accepted`` / ``ulb.rejected`` counters.
     """
 
     def __init__(
-        self, n_arms: int, k_count: int, radius_scale: float = 1.0
+        self,
+        n_arms: int,
+        k_count: int,
+        radius_scale: float = 1.0,
+        telemetry: Telemetry | None = None,
     ) -> None:
         if n_arms < 0:
             raise ValueError("n_arms must be non-negative")
@@ -46,6 +54,7 @@ class UlbPruner:
         self.n_arms = n_arms
         self.k_count = k_count
         self.radius_scale = radius_scale
+        self.telemetry = telemetry
         self.accepted: set[int] = set()
         self.rejected: set[int] = set()
         #: Non-finite running means clamped by :meth:`update` (only ever
@@ -102,6 +111,10 @@ class UlbPruner:
                     f"{np.nonzero(bad)[0].tolist()}"
                 )
             self.n_nonfinite_clamped += int(bad.sum())
+            if self.telemetry is not None:
+                self.telemetry.count(
+                    "ulb.nonfinite_clamped", int(bad.sum())
+                )
             means = np.where(bad, 1.0, means)
         radii = self.radius_scale * np.array(
             [hoeffding_radius(total_rounds, int(n)) for n in pulls]
@@ -149,6 +162,12 @@ class UlbPruner:
 
         self.accepted |= newly_accepted
         self.rejected |= newly_rejected
+        if self.telemetry is not None:
+            self.telemetry.count("ulb.passes")
+            if newly_accepted:
+                self.telemetry.count("ulb.accepted", len(newly_accepted))
+            if newly_rejected:
+                self.telemetry.count("ulb.rejected", len(newly_rejected))
         if contracts.ENABLED:
             contracts.check_ulb_partition(
                 self.accepted, self.rejected, self.n_arms, where="UlbPruner"

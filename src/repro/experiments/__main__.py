@@ -5,10 +5,15 @@ Usage::
     python -m repro.experiments fig3              # REC-K curves
     python -m repro.experiments fig11 --videos 3  # polyonymous rates
     python -m repro.experiments faults            # chaos matrix
+    python -m repro.experiments telemetry --synthetic   # per-window metrics
+    python -m repro.experiments gate --current benchmarks/results/bench_summary.json
     python -m repro.experiments list              # show available figures
 
 Each figure runs at the same laptop scale as the benchmark suite and
-prints the reproduced rows.
+prints the reproduced rows.  ``telemetry`` runs one fully-instrumented
+ingestion and dumps the per-window counters, spans and hotspots;
+``gate`` compares a ``bench_summary.json`` against the committed
+baseline and exits non-zero on a regression (the CI bench gate).
 """
 
 from __future__ import annotations
@@ -172,6 +177,85 @@ def run_fig13(args) -> str:
     )
 
 
+def run_telemetry(args) -> str:
+    """Run one instrumented ingestion; render the observability report.
+
+    Everything in this repo is synthetic, so ``--synthetic`` is accepted
+    for explicitness (and CI scripts) but is also the only mode.
+    """
+    from repro.core.pipeline import IngestionPipeline
+    from repro.core.tmerge import TMerge
+    from repro.synth.datasets import preset_by_name
+    from repro.synth.world import simulate_world
+    from repro.telemetry import Telemetry
+    from repro.track.tracktor import TracktorTracker
+
+    world = simulate_world(
+        preset_by_name("mot17").config, args.frames, seed=0
+    )
+    telemetry = Telemetry()
+    pipeline = IngestionPipeline(
+        tracker=TracktorTracker(),
+        merger=TMerge(k=0.05, tau_max=400, batch_size=10, seed=3),
+        window_length=args.window_length,
+        telemetry=telemetry,
+    )
+    result = pipeline.run(world)
+
+    rows = []
+    for c, metrics in enumerate(result.window_metrics):
+        pruned = metrics.get("ulb.accepted", 0.0) + metrics.get(
+            "ulb.rejected", 0.0
+        )
+        rows.append(
+            [
+                c,
+                len(result.window_pairs[c]),
+                int(metrics.get("reid.invocations", 0.0)),
+                int(metrics.get("cache.hits", 0.0)),
+                int(pruned),
+                round(metrics.get("cost.simulated_ms", 0.0), 1),
+            ]
+        )
+    table = format_table(
+        [
+            "window",
+            "pairs",
+            "reid invocations",
+            "cache hits",
+            "ulb pruned",
+            "simulated ms",
+        ],
+        rows,
+        "Telemetry — per-window counters",
+    )
+    spans = telemetry.tracer.spans
+    footer = (
+        f"spans recorded: {len(spans)} "
+        f"(export with Tracer.export_jsonl; schema in DESIGN.md §8)"
+    )
+    return "\n\n".join([table, telemetry.report(), footer])
+
+
+def run_gate(args) -> int:
+    """Compare a bench summary to the baseline; return the exit status."""
+    from repro.experiments.bench_summary import gate_summary_files
+
+    failures = gate_summary_files(
+        args.current, args.baseline, tolerance=args.tolerance
+    )
+    if failures:
+        print("bench gate: FAIL")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(
+        f"bench gate: OK ({args.current} within "
+        f"{args.tolerance:.0%} of {args.baseline})"
+    )
+    return 0
+
+
 def run_faults(args) -> str:
     """Render the chaos matrix: TMerge under injected fault profiles."""
     from repro.experiments.chaos import fault_profile_sweep
@@ -206,6 +290,7 @@ _RUNNERS = {
     "fig12": run_fig12,
     "fig13": run_fig13,
     "faults": run_faults,
+    "telemetry": run_telemetry,
 }
 
 
@@ -217,8 +302,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "figure",
-        choices=sorted(_RUNNERS) + ["list"],
-        help="which figure to regenerate",
+        choices=sorted(_RUNNERS) + ["gate", "list"],
+        help="which figure to regenerate (or: telemetry, gate, list)",
     )
     parser.add_argument(
         "--videos",
@@ -238,10 +323,45 @@ def main(argv: list[str] | None = None) -> int:
         default=7,
         help="seed of the injected fault schedule (faults only)",
     )
+    parser.add_argument(
+        "--synthetic",
+        action="store_true",
+        help="use synthetic data (telemetry only; always true here)",
+    )
+    parser.add_argument(
+        "--frames",
+        type=int,
+        default=400,
+        help="video length for the telemetry run (telemetry only)",
+    )
+    parser.add_argument(
+        "--window-length",
+        type=int,
+        default=200,
+        help="window length for the telemetry run (telemetry only)",
+    )
+    parser.add_argument(
+        "--current",
+        default="benchmarks/results/bench_summary.json",
+        help="summary produced by this run (gate only)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default="benchmarks/results/baseline_summary.json",
+        help="committed baseline summary (gate only)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.05,
+        help="relative regression tolerance (gate only, default 0.05)",
+    )
     args = parser.parse_args(argv)
     if args.figure == "list":
-        print("available:", ", ".join(sorted(_RUNNERS)))
+        print("available:", ", ".join(sorted(_RUNNERS) + ["gate"]))
         return 0
+    if args.figure == "gate":
+        return run_gate(args)
     print(_RUNNERS[args.figure](args))
     return 0
 

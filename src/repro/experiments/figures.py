@@ -59,11 +59,13 @@ def fig3_rec_k(
     videos_by_dataset: dict[str, list[PreparedVideo]],
     ks: tuple[float, ...] = (0.005, 0.01, 0.02, 0.05, 0.1, 0.2),
     reid_seed: int = 1,
+    telemetry=None,
 ) -> dict[str, list[tuple[float, float]]]:
     """REC of the top-⌈K·|P_c|⌉ *exact* scores, per dataset.
 
     Returns ``{dataset: [(K, REC)]}`` with REC averaged over windows that
-    contain polyonymous pairs.
+    contain polyonymous pairs.  ``telemetry`` (optional) aggregates the
+    exhaustive scoring's cost counters across all datasets.
     """
     curves: dict[str, list[tuple[float, float]]] = {}
     for dataset, videos in videos_by_dataset.items():
@@ -71,7 +73,9 @@ def fig3_rec_k(
         counts = [0] * len(ks)
         for video in videos:
             scorer = ReidScorer(
-                SimReIDModel(video.world, seed=reid_seed), cost=CostModel()
+                SimReIDModel(video.world, seed=reid_seed),
+                cost=CostModel(telemetry=telemetry),
+                telemetry=telemetry,
             )
             for pairs, gt_keys in zip(video.window_pairs, video.window_gt):
                 if not pairs or not gt_keys:

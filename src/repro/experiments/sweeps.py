@@ -11,6 +11,7 @@ from repro.faults.profiles import FaultProfile
 from repro.metrics.recall import window_recall
 from repro.reid import CostParams, ReidScorer, SimReIDModel
 from repro.resilience import ResilienceConfig, ResilientReidScorer
+from repro.telemetry import Telemetry
 
 MergerFactory = Callable[[], Merger]
 
@@ -27,6 +28,9 @@ class MethodPoint:
         parameter: the swept parameter value (τ_max, η, …), if any.
         degraded_windows: windows that completed in degraded mode (always
             0 outside fault-injection sweeps).
+        reid_invocations: total ReID forward passes (unbatched + batched
+            crops) across all videos — the cost figure the CI bench gate
+            guards against regressions.
     """
 
     method: str
@@ -35,6 +39,7 @@ class MethodPoint:
     simulated_seconds: float
     parameter: float | None = None
     degraded_windows: int = 0
+    reid_invocations: int = 0
 
 
 def evaluate_merger(
@@ -45,6 +50,7 @@ def evaluate_merger(
     parameter: float | None = None,
     fault_profile: FaultProfile | None = None,
     resilience: ResilienceConfig | None = None,
+    telemetry: Telemetry | None = None,
 ) -> MethodPoint:
     """Run one algorithm configuration over every window of every video.
 
@@ -63,6 +69,10 @@ def evaluate_merger(
             video, so every video sees the same schedule).
         resilience: resilience tuning; defaults on when a fault profile
             is given, stays off otherwise.
+        telemetry: optional injected :class:`~repro.telemetry.Telemetry`
+            shared across all videos of the evaluation (counters, spans,
+            hotspots).  Purely observational: results are bit-identical
+            with it on or off.
     """
     if resilience is None and fault_profile is not None:
         resilience = ResilienceConfig()
@@ -70,6 +80,7 @@ def evaluate_merger(
     total_seconds = 0.0
     total_frames = 0
     degraded_windows = 0
+    reid_invocations = 0
     method = ""
     for video in videos:
         video.reset_sampling()
@@ -77,12 +88,17 @@ def evaluate_merger(
         method = merger.name
         from repro.reid import CostModel  # local import to avoid cycle noise
 
-        cost = CostModel(cost_params)
+        cost = CostModel(cost_params, telemetry=telemetry)
+        if telemetry is not None:
+            telemetry.bind_clock(cost)
         model = SimReIDModel(video.world, seed=reid_seed)
         if fault_profile is not None and fault_profile.injects_reid_faults:
             model = fault_profile.wrap_model(model)
+            for injector in (model.call_injector, model.corruption_injector):
+                if injector is not None:
+                    injector.telemetry = telemetry
         scorer: ReidScorer | ResilientReidScorer = ReidScorer(
-            model, cost=cost
+            model, cost=cost, telemetry=telemetry
         )
         if resilience is not None:
             scorer = ResilientReidScorer(
@@ -96,6 +112,8 @@ def evaluate_merger(
             and fault_profile.window_crash_rate > 0
             else None
         )
+        if crasher is not None:
+            crasher.telemetry = telemetry
         for index, (pairs, gt_keys) in enumerate(
             zip(video.window_pairs, video.window_gt)
         ):
@@ -111,6 +129,7 @@ def evaluate_merger(
                 recs.append(rec)
         total_seconds += cost.seconds
         total_frames += video.n_frames
+        reid_invocations += cost.n_extractions + cost.n_batched_extractions
 
     avg_rec = sum(recs) / len(recs) if recs else 1.0
     fps = total_frames / total_seconds if total_seconds > 0 else float("inf")
@@ -121,6 +140,7 @@ def evaluate_merger(
         simulated_seconds=total_seconds,
         parameter=parameter,
         degraded_windows=degraded_windows,
+        reid_invocations=reid_invocations,
     )
 
 

@@ -60,16 +60,23 @@ class ReidCallFaultInjector:
         self.timeout_penalty_ms = timeout_penalty_ms
         self.n_failures = 0
         self.n_timeouts = 0
+        #: Optional injected :class:`~repro.telemetry.Telemetry`; set by
+        #: the run owner after construction (the profile builds injectors).
+        self.telemetry = None
 
     def check(self) -> None:
         """Consult the schedule for one call; raise when it should fail."""
         if self.failure_rate > 0 and self.rng.random() < self.failure_rate:
             self.n_failures += 1
+            if self.telemetry is not None:
+                self.telemetry.count("faults.reid_failures")
             raise ReidFaultError(
                 f"injected ReID failure #{self.n_failures}"
             )
         if self.timeout_rate > 0 and self.rng.random() < self.timeout_rate:
             self.n_timeouts += 1
+            if self.telemetry is not None:
+                self.telemetry.count("faults.reid_timeouts")
             raise ReidTimeoutError(
                 f"injected ReID timeout #{self.n_timeouts}",
                 penalty_ms=self.timeout_penalty_ms,
@@ -113,6 +120,8 @@ class FeatureCorruptionInjector:
         self.rate = rate
         self.mode = mode
         self.n_corrupted = 0
+        #: Optional injected :class:`~repro.telemetry.Telemetry`.
+        self.telemetry = None
         self._previous: np.ndarray | None = None
 
     def corrupt(self, feature: np.ndarray) -> np.ndarray:
@@ -122,6 +131,8 @@ class FeatureCorruptionInjector:
         if self.rate <= 0 or self.rng.random() >= self.rate:
             return feature
         self.n_corrupted += 1
+        if self.telemetry is not None:
+            self.telemetry.count("faults.corrupted_features")
         if self.mode == "nan":
             return np.full_like(feature, np.nan)
         if stash is None or stash.shape != feature.shape:
@@ -147,6 +158,8 @@ class FrameDropInjector:
         self.rng = rng
         self.rate = rate
         self.n_dropped = 0
+        #: Optional injected :class:`~repro.telemetry.Telemetry`.
+        self.telemetry = None
 
     def apply(self, frames: list[list]) -> list[list]:
         """Return a copy of ``frames`` with a seeded subset blanked."""
@@ -156,6 +169,8 @@ class FrameDropInjector:
         for frame in frames:
             if self.rng.random() < self.rate:
                 self.n_dropped += 1
+                if self.telemetry is not None:
+                    self.telemetry.count("faults.dropped_frames")
                 out.append([])
             else:
                 out.append(list(frame))
@@ -215,6 +230,8 @@ class WindowCrashInjector:
         self.min_calls = min_calls
         self.max_calls = max_calls
         self.n_armed = 0
+        #: Optional injected :class:`~repro.telemetry.Telemetry`.
+        self.telemetry = None
 
     def arm(self, window_index: int) -> ArmedCrash | None:
         """Draw this window's fate; return a countdown or ``None``."""
@@ -222,6 +239,8 @@ class WindowCrashInjector:
             return None
         calls = int(self.rng.integers(self.min_calls, self.max_calls + 1))
         self.n_armed += 1
+        if self.telemetry is not None:
+            self.telemetry.count("faults.armed_crashes")
         return ArmedCrash(calls, window_index)
 
 

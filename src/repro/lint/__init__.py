@@ -14,6 +14,10 @@ enforcing the invariants the reproduction's correctness rests on:
 * **REPRO007** — public functions/classes carry docstrings and return
   annotations.
 * **REPRO008** — every ``__all__`` entry resolves to a real binding.
+* **REPRO009** — no hand-rolled retry loops; retries flow through
+  ``repro.resilience`` so backoff lands on the simulated clock.
+* **REPRO010** — telemetry is injected; no module-level ``Telemetry()``
+  / registry singletons.
 
 Run it with ``python -m repro.lint src tests benchmarks`` (non-zero exit
 on violations), or programmatically via :func:`lint_paths` /

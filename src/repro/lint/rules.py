@@ -784,6 +784,97 @@ class NoHandRolledRetryRule(Rule):
         return violations
 
 
+#: Telemetry types whose import-time construction REPRO010 bans.
+_TELEMETRY_TYPES = frozenset(
+    {"Telemetry", "MetricsRegistry", "Tracer", "Profiler"}
+)
+
+
+class InjectedTelemetryRule(Rule):
+    """REPRO010 — telemetry is injected, never a module-level singleton."""
+
+    rule_id = "REPRO010"
+    title = "telemetry must be injected (no module-level singletons)"
+    rationale = (
+        "A module-level `Telemetry()` (or bare `MetricsRegistry` / "
+        "`Tracer` / `Profiler`) is ambient global state: every run "
+        "records into the same object, so two experiments in one process "
+        "contaminate each other's counters and tests pass or fail by "
+        "import order.  The owner of a run constructs one Telemetry and "
+        "injects it down through constructors; components accept "
+        "`telemetry=None` and skip recording."
+    )
+    violating_example = textwrap.dedent(
+        """\
+        \"\"\"Fixture.\"\"\"
+        from repro.telemetry import Telemetry
+
+        TELEMETRY = Telemetry()
+        """
+    )
+    clean_example = textwrap.dedent(
+        '''\
+        """Fixture."""
+        from repro.telemetry import Telemetry
+
+
+        def build_run_telemetry() -> Telemetry:
+            """Construct the run-scoped telemetry an owner injects down."""
+            return Telemetry()
+        '''
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        """Library code, except the telemetry package itself."""
+        return ctx.is_library and ctx.subpackage != "telemetry"
+
+    @staticmethod
+    def _called_name(func: ast.expr) -> str | None:
+        """The simple or attribute name a call targets, if any."""
+        if isinstance(func, ast.Name):
+            return func.id
+        if isinstance(func, ast.Attribute):
+            return func.attr
+        return None
+
+    def _scan(
+        self, node: ast.AST, ctx: FileContext, out: list[Violation]
+    ) -> None:
+        """Flag telemetry constructions reachable at import time.
+
+        Recurses through module-level statements, class bodies, and
+        conditional/try blocks (all of which execute on import) but not
+        into function or lambda bodies (which execute per call, where
+        instance-scoped construction is legitimate).
+        """
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            return
+        if (
+            isinstance(node, ast.Call)
+            and self._called_name(node.func) in _TELEMETRY_TYPES
+        ):
+            out.append(
+                self.violation(
+                    ctx,
+                    node,
+                    f"`{self._called_name(node.func)}()` constructed at "
+                    "import time; construct telemetry in the run owner "
+                    "and inject it through constructors (REPRO010)",
+                )
+            )
+        for child in ast.iter_child_nodes(node):
+            self._scan(child, ctx, out)
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> list[Violation]:
+        """Flag import-time telemetry singletons."""
+        violations: list[Violation] = []
+        for stmt in tree.body:
+            self._scan(stmt, ctx, violations)
+        return violations
+
+
 #: Every shipped rule, in rule-id order.  The engine and the tests iterate
 #: this list; registering a new rule means appending here.
 ALL_RULES: tuple[Rule, ...] = (
@@ -796,6 +887,7 @@ ALL_RULES: tuple[Rule, ...] = (
     PublicApiDocsRule(),
     AllExportsResolveRule(),
     NoHandRolledRetryRule(),
+    InjectedTelemetryRule(),
 )
 
 RULES_BY_ID: dict[str, Rule] = {rule.rule_id: rule for rule in ALL_RULES}

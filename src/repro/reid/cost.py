@@ -54,10 +54,21 @@ class CostModel:
     All figures that report FPS or runtime read :attr:`seconds` from this
     clock; pytest-benchmark separately measures real wall time of the
     algorithm bodies.
+
+    When a :class:`~repro.telemetry.Telemetry` is injected, every charge
+    is mirrored into its counters (``reid.invocations``,
+    ``reid.distances``, ``cost.simulated_ms``, …).  Telemetry counters
+    are observability, not simulation state: checkpoint restores rewind
+    the clock but never the counters, so a replayed window's ReID calls
+    are counted again — exactly what a cost dashboard should show.
     """
 
-    def __init__(self, params: CostParams | None = None) -> None:
+    def __init__(
+        self, params: CostParams | None = None, telemetry=None
+    ) -> None:
         self.params = params or CostParams()
+        #: Injected :class:`~repro.telemetry.Telemetry`, or ``None``.
+        self.telemetry = telemetry
         self.reset()
 
     def reset(self) -> None:
@@ -81,12 +92,22 @@ class CostModel:
         """Simulated elapsed milliseconds."""
         return self._ms
 
+    def _record(self, ms: float, counter: str, amount: float) -> None:
+        """Mirror one charge into the injected telemetry, if any."""
+        if self.telemetry is None:
+            return
+        self.telemetry.count("cost.simulated_ms", ms)
+        self.telemetry.count(counter, amount)
+
     def charge_extract(self, count: int = 1) -> None:
         """Charge ``count`` unbatched feature extractions."""
         if count < 0:
             raise ValueError("count must be non-negative")
         self.n_extractions += count
         self._ms += count * self.params.extract_ms
+        self._record(
+            count * self.params.extract_ms, "reid.invocations", count
+        )
 
     def charge_extract_batched(self, count: int, batch_size: int) -> None:
         """Charge ``count`` extractions executed in batches of ``batch_size``.
@@ -104,10 +125,14 @@ class CostModel:
         n_calls = -(-count // batch_size)  # ceil division
         self.n_batched_extractions += count
         self.n_batch_calls += n_calls
-        self._ms += (
+        charged = (
             n_calls * self.params.batch_launch_ms
             + count * self.params.batch_item_ms
         )
+        self._ms += charged
+        self._record(charged, "reid.invocations", count)
+        if self.telemetry is not None:
+            self.telemetry.count("reid.batch_calls", n_calls)
 
     def charge_distance(self, count: int = 1) -> None:
         """Charge ``count`` feature-pair distance evaluations."""
@@ -115,6 +140,9 @@ class CostModel:
             raise ValueError("count must be non-negative")
         self.n_distances += count
         self._ms += count * self.params.distance_ms
+        self._record(
+            count * self.params.distance_ms, "reid.distances", count
+        )
 
     def charge_overhead(self, count: int = 1) -> None:
         """Charge ``count`` iterations of algorithm bookkeeping."""
@@ -122,6 +150,9 @@ class CostModel:
             raise ValueError("count must be non-negative")
         self.n_overheads += count
         self._ms += count * self.params.overhead_ms
+        self._record(
+            count * self.params.overhead_ms, "cost.overheads", count
+        )
 
     def charge_wait(self, ms: float) -> None:
         """Charge ``ms`` of simulated waiting (retry backoff, timeouts).
@@ -135,6 +166,7 @@ class CostModel:
         self.n_waits += 1
         self.wait_ms += ms
         self._ms += ms
+        self._record(ms, "resilience.wait_ms", ms)
 
     def state_dict(self) -> dict[str, float]:
         """Complete, restorable clock state (for window checkpoints)."""

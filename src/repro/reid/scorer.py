@@ -26,6 +26,7 @@ import numpy as np
 from repro import contracts
 from repro.reid.cost import CostModel
 from repro.reid.model import SimReIDModel
+from repro.telemetry import Telemetry, profiled
 from repro.track.base import Track
 
 # Unit-norm features make 2.0 the exact supremum of Euclidean distances.
@@ -50,12 +51,19 @@ class FeatureCache:
             its least-recently-used entry on overflow (long videos no
             longer grow feature memory without bound); when ``None`` the
             cache is unbounded and insertion-ordered, exactly as before.
+        telemetry: optional :class:`~repro.telemetry.Telemetry` mirroring
+            the hit/miss/eviction counters (``cache.hits`` …).
     """
 
-    def __init__(self, max_entries: int | None = None) -> None:
+    def __init__(
+        self,
+        max_entries: int | None = None,
+        telemetry: Telemetry | None = None,
+    ) -> None:
         if max_entries is not None and max_entries < 1:
             raise ValueError("max_entries must be >= 1 (or None)")
         self.max_entries = max_entries
+        self.telemetry = telemetry
         self._features: OrderedDict[FeatureKey, np.ndarray] = OrderedDict()
         self.n_hits = 0
         self.n_misses = 0
@@ -72,8 +80,12 @@ class FeatureCache:
         feature = self._features.get(key)
         if feature is None:
             self.n_misses += 1
+            if self.telemetry is not None:
+                self.telemetry.count("cache.misses")
             return None
         self.n_hits += 1
+        if self.telemetry is not None:
+            self.telemetry.count("cache.hits")
         if self.max_entries is not None:
             self._features.move_to_end(key)
         return feature
@@ -92,6 +104,8 @@ class FeatureCache:
         ):
             self._features.popitem(last=False)
             self.n_evictions += 1
+            if self.telemetry is not None:
+                self.telemetry.count("cache.evictions")
 
     def discard(self, key: FeatureKey) -> bool:
         """Drop ``key`` if cached; return whether an entry was removed."""
@@ -126,6 +140,12 @@ class ReidScorer:
         cost: the simulated clock to charge.
         cache: optional shared cache (one per video lets feature reuse span
             windows, as in the paper's streaming setting).
+        telemetry: observability sink.  When ``None`` the scorer creates a
+            private :class:`~repro.telemetry.Telemetry` (instance-scoped —
+            never a module singleton, see REPRO010) so its own counters
+            always have somewhere to live; run owners inject a shared one
+            to aggregate across components.  Either way it is propagated
+            to the cost model and cache unless those already carry one.
     """
 
     def __init__(
@@ -133,15 +153,30 @@ class ReidScorer:
         model: SimReIDModel,
         cost: CostModel | None = None,
         cache: FeatureCache | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.model = model
         self.cost = cost or CostModel()
         # Not `cache or ...`: an empty FeatureCache is falsy (len 0).
         self.cache = cache if cache is not None else FeatureCache()
-        #: Non-finite distances clamped by :meth:`_sanitize_distance`
-        #: (only ever non-zero when a faulty model is injected and the
-        #: resilience layer is not interposed).
-        self.n_nonfinite_clamped = 0
+        self.telemetry = (
+            telemetry if telemetry is not None else Telemetry()
+        )
+        self.telemetry.bind_clock(self.cost)
+        if self.cost.telemetry is None:
+            self.cost.telemetry = self.telemetry
+        if self.cache.telemetry is None:
+            self.cache.telemetry = self.telemetry
+
+    @property
+    def n_nonfinite_clamped(self) -> int:
+        """Non-finite distances clamped by :meth:`_sanitize_distance`.
+
+        Backed by the ``reid.nonfinite_clamped`` telemetry counter
+        (only ever non-zero when a faulty model is injected and the
+        resilience layer is not interposed).
+        """
+        return int(self.telemetry.metrics.value("reid.nonfinite_clamped"))
 
     def _sanitize_distance(self, distance: float, where: str) -> float:
         """Defend against non-finite distances from corrupted features.
@@ -149,13 +184,14 @@ class ReidScorer:
         Under ``REPRO_CHECK_INVARIANTS=1`` a non-finite distance raises
         a :class:`~repro.contracts.ContractViolation`; otherwise it is
         clamped to the maximum distance (treat corrupted evidence as
-        "not a match") and counted in :attr:`n_nonfinite_clamped`.
+        "not a match") and counted in the ``reid.nonfinite_clamped``
+        telemetry counter (readable as :attr:`n_nonfinite_clamped`).
         """
         if np.isfinite(distance):
             return float(distance)
         if contracts.ENABLED:
             contracts.check_finite_distance(distance, where=where)
-        self.n_nonfinite_clamped += 1
+        self.telemetry.count("reid.nonfinite_clamped")
         return _MAX_DISTANCE
 
     # ------------------------------------------------------------------
@@ -218,6 +254,7 @@ class ReidScorer:
     # ------------------------------------------------------------------
     # Bulk path (exhaustive scoring, wall-clock-vectorized)
     # ------------------------------------------------------------------
+    @profiled
     def track_features(
         self, track: Track, batch_size: int | None = None
     ) -> np.ndarray:
@@ -249,6 +286,7 @@ class ReidScorer:
                 features[keys[i]] = feature
         return np.stack([features[key] for key in keys])
 
+    @profiled
     def pair_distance_matrix(
         self,
         track_a: Track,
@@ -275,6 +313,7 @@ class ReidScorer:
     # ------------------------------------------------------------------
     # Batched path (the -B variants, §IV-F)
     # ------------------------------------------------------------------
+    @profiled
     def distances_batched(
         self,
         requests: list[tuple[Track, int, Track, int]],

@@ -62,11 +62,15 @@ class CircuitBreaker:
         policy: thresholds and timings.
         clock: the :class:`~repro.reid.cost.CostModel` whose
             ``milliseconds`` drive recovery timing.
+        telemetry: optional injected :class:`~repro.telemetry.Telemetry`
+            mirroring state flips into ``breaker.opens`` /
+            ``breaker.closes``.
     """
 
-    def __init__(self, policy: BreakerPolicy, clock) -> None:
+    def __init__(self, policy: BreakerPolicy, clock, telemetry=None) -> None:
         self.policy = policy
         self.clock = clock
+        self.telemetry = telemetry
         self.state = CLOSED
         self.consecutive_failures = 0
         self.trial_streak = 0
@@ -84,8 +88,12 @@ class CircuitBreaker:
         if new_state == OPEN:
             self.n_opens += 1
             self.opened_at_ms = float(self.clock.milliseconds)
+            if self.telemetry is not None:
+                self.telemetry.count("breaker.opens")
         if new_state == CLOSED:
             self.n_closes += 1
+            if self.telemetry is not None:
+                self.telemetry.count("breaker.closes")
         self.state = new_state
 
     def allow(self) -> bool:

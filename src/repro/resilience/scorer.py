@@ -78,7 +78,9 @@ class ResilientReidScorer:
         self._scorer = scorer
         self.retry = retry or RetryPolicy()
         self.breaker = breaker or CircuitBreaker(
-            breaker_policy or BreakerPolicy(), clock=scorer.cost
+            breaker_policy or BreakerPolicy(),
+            clock=scorer.cost,
+            telemetry=getattr(scorer, "telemetry", None),
         )
         #: Armed per-window crash countdown (see
         #: :class:`~repro.faults.injectors.WindowCrashInjector`); the
@@ -111,6 +113,11 @@ class ResilientReidScorer:
         """The wrapped (non-resilient) scorer."""
         return self._scorer
 
+    @property
+    def telemetry(self) -> object:
+        """The wrapped scorer's telemetry sink (mergers read this)."""
+        return getattr(self._scorer, "telemetry", None)
+
     # ------------------------------------------------------------------
     # The guarded call core
     # ------------------------------------------------------------------
@@ -130,6 +137,8 @@ class ResilientReidScorer:
             except self._retry_on as exc:
                 last = exc
                 self.n_transient_faults += 1
+                if self.telemetry is not None:
+                    self.telemetry.count("resilience.transient_faults")
                 penalty = float(getattr(exc, "penalty_ms", 0.0))
                 if penalty > 0:
                     self.cost.charge_wait(penalty)
@@ -148,6 +157,8 @@ class ResilientReidScorer:
     def _corrupt(self, keys, what: str) -> CorruptFeatureError:
         """Evict poisoned cache entries and build the retryable error."""
         self.n_corruptions_detected += 1
+        if self.telemetry is not None:
+            self.telemetry.count("resilience.corruptions_detected")
         for key in keys:
             self.cache.discard(key)
         return CorruptFeatureError(
@@ -196,6 +207,8 @@ class ResilientReidScorer:
             )
             if not np.isfinite(result):
                 self.n_corruptions_detected += 1
+                if self.telemetry is not None:
+                    self.telemetry.count("resilience.corruptions_detected")
                 raise CorruptFeatureError("non-finite fresh distance")
             return result
 
@@ -281,6 +294,8 @@ class ResilientReidScorer:
             )
             if any(not np.isfinite(d) for d in result):
                 self.n_corruptions_detected += 1
+                if self.telemetry is not None:
+                    self.telemetry.count("resilience.corruptions_detected")
                 raise CorruptFeatureError("non-finite fresh batch")
             return result
 

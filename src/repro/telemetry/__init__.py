@@ -1,0 +1,52 @@
+"""repro.telemetry — zero-dependency observability for the TMerge stack.
+
+Three primitives behind one injectable facade:
+
+* :class:`MetricsRegistry` — lazily-created counters, gauges and
+  histograms (ReID invocations, cache hit/miss/eviction, Thompson
+  draws, ULB prunes, breaker flips, degraded windows, …).
+* :class:`Tracer` — nested spans timed on the *simulated*
+  :class:`~repro.reid.cost.CostModel` clock, exported as JSONL.
+* :class:`Profiler` + :func:`profiled` — wall-clock hotspot accounting
+  for the Python implementation itself (kept strictly outside the
+  simulated-cost story).
+
+The facade, :class:`Telemetry`, is always *injected* — constructed by
+whoever owns a run and passed down through constructors.  Module-level
+telemetry singletons are a lint violation (REPRO010).  Components accept
+``telemetry=None`` and skip all recording in that case, which keeps the
+un-instrumented path free and guarantees bit-identical results with
+telemetry on or off (DESIGN.md §8).
+"""
+
+from repro.telemetry.facade import Telemetry
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.profiling import FunctionStats, Profiler, profiled
+from repro.telemetry.tracing import (
+    Span,
+    Tracer,
+    load_spans_jsonl,
+    spans_from_jsonl,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "FunctionStats",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Profiler",
+    "Span",
+    "Telemetry",
+    "Tracer",
+    "load_spans_jsonl",
+    "profiled",
+    "spans_from_jsonl",
+]

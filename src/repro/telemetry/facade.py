@@ -1,0 +1,78 @@
+"""The injectable :class:`Telemetry` facade.
+
+One ``Telemetry`` object bundles the three observability primitives —
+a :class:`~repro.telemetry.metrics.MetricsRegistry`, a
+:class:`~repro.telemetry.tracing.Tracer` and a
+:class:`~repro.telemetry.profiling.Profiler` — behind the handful of
+shortcuts call sites actually use (``count``, ``observe``, ``span``).
+
+Ownership model (lint-enforced by REPRO010): a ``Telemetry`` is
+constructed by whoever owns a *run* — the ingestion pipeline, a sweep,
+the CLI, a test — and injected down through constructors.  Components
+treat ``telemetry=None`` as "observability off" and guard every record
+call, so the fault-free, telemetry-free path stays exactly as cheap and
+exactly as deterministic as before.
+"""
+
+from __future__ import annotations
+
+from contextlib import AbstractContextManager
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.profiling import Profiler
+from repro.telemetry.tracing import Span, Tracer
+
+
+class Telemetry:
+    """Metrics + tracing + profiling for one run.
+
+    Args:
+        clock: optional simulated clock (a
+            :class:`~repro.reid.cost.CostModel`) for span timestamps;
+            usually bound later via :meth:`bind_clock` because the cost
+            model is created inside the run being observed.
+    """
+
+    def __init__(self, clock: object | None = None) -> None:
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(clock=clock)
+        self.profiler = Profiler()
+
+    @property
+    def clock(self) -> object | None:
+        """The simulated clock spans are stamped with (may be ``None``)."""
+        return self.tracer.clock
+
+    def bind_clock(self, clock: object) -> None:
+        """Point span timestamps at ``clock`` (idempotent, cheap)."""
+        self.tracer.bind_clock(clock)
+
+    # ------------------------------------------------------------------
+    # Recording shortcuts
+    # ------------------------------------------------------------------
+    def count(self, name: str, amount: float = 1.0) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        self.metrics.inc(name, amount)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record ``value`` in histogram ``name``."""
+        self.metrics.observe(name, value)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value``."""
+        self.metrics.set_gauge(name, value)
+
+    def span(self, name: str, **attributes: object) -> AbstractContextManager[Span]:
+        """Open a traced span (see :meth:`Tracer.span`)."""
+        return self.tracer.span(name, **attributes)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def report(self, top: int = 10) -> str:
+        """Combined metrics + hotspot report as plain text."""
+        parts = [self.metrics.report()]
+        hotspots = self.profiler.report(top)
+        if hotspots:
+            parts.append(hotspots)
+        return "\n\n".join(part for part in parts if part)

@@ -1,0 +1,245 @@
+"""Counters, gauges and histograms — the repo's metric primitives.
+
+A :class:`MetricsRegistry` is a named collection of metric instruments.
+Instruments are created lazily on first touch (``registry.inc("x")``)
+so call sites never need registration boilerplate, and every instrument
+is a plain in-process object: no exporters, no background threads, no
+third-party dependencies.  Registries are *injected* — module-level
+registry singletons are a lint violation (REPRO010) because they leak
+counts across runs and break test isolation.
+
+All instruments are observability-only: they never touch RNG state or
+the simulated :class:`~repro.reid.cost.CostModel` clock, which is what
+makes a telemetry-enabled pipeline run bit-identical to a plain one
+(see ``tests/test_telemetry.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+
+#: Default histogram bucket upper bounds (a final +inf bucket is implied).
+#: Tuned for simulated milliseconds: spans sub-millisecond bookkeeping up
+#: to multi-minute windows.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.1,
+    1.0,
+    10.0,
+    100.0,
+    1_000.0,
+    10_000.0,
+    100_000.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count.
+
+    Args:
+        name: dotted metric name (``"reid.invocations"``).
+    """
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge instead")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value that can move both ways."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge's value."""
+        self.value = float(value)
+
+
+class Histogram:
+    """A bucketed distribution of observed values.
+
+    Tracks count, sum, min and max exactly, plus per-bucket counts for
+    the configured upper bounds (cumulative-style, with an implicit
+    final +inf bucket).
+
+    Args:
+        name: dotted metric name.
+        bounds: strictly increasing bucket upper bounds.
+    """
+
+    __slots__ = (
+        "name",
+        "bounds",
+        "bucket_counts",
+        "count",
+        "total",
+        "min_value",
+        "max_value",
+    )
+
+    def __init__(
+        self, name: str, bounds: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> None:
+        if not bounds or any(
+            b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
+        ):
+            raise ValueError("bounds must be non-empty and increasing")
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min_value = math.inf
+        self.max_value = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min_value = min(self.min_value, value)
+        self.max_value = max(self.max_value, value)
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        """Average of all observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict[str, float]:
+        """Count/sum/mean/min/max as a flat dict."""
+        return {
+            "count": float(self.count),
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min_value if self.count else 0.0,
+            "max": self.max_value if self.count else 0.0,
+        }
+
+
+class MetricsRegistry:
+    """A lazily-populated, insertion-ordered collection of instruments.
+
+    One registry per run (pipeline, sweep, CLI invocation).  The
+    snapshot/delta pair is what powers per-window reporting: snapshot
+    the counters before a window, subtract afterwards.
+    """
+
+    def __init__(self) -> None:
+        self._counters: OrderedDict[str, Counter] = OrderedDict()
+        self._gauges: OrderedDict[str, Gauge] = OrderedDict()
+        self._histograms: OrderedDict[str, Histogram] = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # Instrument access
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name``, created on first use."""
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name``, created on first use."""
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(
+        self, name: str, bounds: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        """The histogram called ``name``, created on first use."""
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name, bounds)
+        return instrument
+
+    # ------------------------------------------------------------------
+    # Recording shortcuts
+    # ------------------------------------------------------------------
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value``."""
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record ``value`` in histogram ``name``."""
+        self.histogram(name).observe(value)
+
+    def value(self, name: str) -> float:
+        """Current value of counter (or gauge) ``name``; 0.0 if absent."""
+        if name in self._counters:
+            return self._counters[name].value
+        if name in self._gauges:
+            return self._gauges[name].value
+        return 0.0
+
+    # ------------------------------------------------------------------
+    # Snapshots and reporting
+    # ------------------------------------------------------------------
+    def counters_snapshot(self) -> dict[str, float]:
+        """Current counter values, for later :meth:`delta` computation."""
+        return {name: c.value for name, c in self._counters.items()}
+
+    @staticmethod
+    def delta(
+        after: dict[str, float], before: dict[str, float]
+    ) -> dict[str, float]:
+        """Counter movement between two snapshots (zero entries dropped)."""
+        moved: dict[str, float] = {}
+        for name, value in after.items():
+            change = value - before.get(name, 0.0)
+            if change != 0:
+                moved[name] = change
+        return moved
+
+    def snapshot(self) -> dict[str, float]:
+        """Every instrument flattened to ``name -> value`` floats.
+
+        Histograms contribute ``<name>.count`` / ``.sum`` / ``.mean`` /
+        ``.min`` / ``.max`` entries.
+        """
+        flat: dict[str, float] = self.counters_snapshot()
+        for name, gauge in self._gauges.items():
+            flat[name] = gauge.value
+        for name, histogram in self._histograms.items():
+            for stat, value in histogram.summary().items():
+                flat[f"{name}.{stat}"] = value
+        return flat
+
+    def report(self) -> str:
+        """Human-readable dump of every instrument, sorted by name."""
+        lines = []
+        for name in sorted(self._counters):
+            lines.append(f"{name} = {self._counters[name].value:g}")
+        for name in sorted(self._gauges):
+            lines.append(f"{name} = {self._gauges[name].value:g} (gauge)")
+        for name in sorted(self._histograms):
+            h = self._histograms[name]
+            s = h.summary()
+            lines.append(
+                f"{name}: count={s['count']:g} sum={s['sum']:g} "
+                f"mean={s['mean']:g} min={s['min']:g} max={s['max']:g}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,157 @@
+"""The CI benchmark-regression gate: summary round-trips, the 5%
+recall/ReID-invocation thresholds, and the acceptance tamper test (a
+synthetic 10% ReID-invocation regression must fail the gate)."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.__main__ import main
+from repro.experiments.bench_summary import (
+    SCHEMA_VERSION,
+    BenchSummary,
+    compare_summaries,
+    gate_summary_files,
+)
+
+BASELINE_PATH = (
+    Path(__file__).parent.parent
+    / "benchmarks"
+    / "results"
+    / "baseline_summary.json"
+)
+
+
+def _summary(**overrides) -> BenchSummary:
+    summary = BenchSummary()
+    metrics = dict(recall=0.90, reid_invocations=1000.0, simulated_ms=5e4)
+    metrics.update(overrides)
+    summary.add("bench", **metrics)
+    return summary
+
+
+class TestBenchSummary:
+    def test_round_trip(self, tmp_path):
+        summary = _summary()
+        path = summary.write(tmp_path / "s.json")
+        restored = BenchSummary.load(path)
+        assert restored.benchmarks == summary.benchmarks
+
+    def test_rejects_unknown_schema(self):
+        with pytest.raises(ValueError, match="schema"):
+            BenchSummary.from_dict({"schema": SCHEMA_VERSION + 1})
+
+    def test_rejects_missing_metrics(self):
+        document = {
+            "schema": SCHEMA_VERSION,
+            "benchmarks": {"b": {"recall": 0.5}},
+        }
+        with pytest.raises(ValueError, match="missing metrics"):
+            BenchSummary.from_dict(document)
+
+    def test_readd_overwrites(self):
+        summary = _summary()
+        summary.add(
+            "bench", recall=0.5, reid_invocations=1.0, simulated_ms=1.0
+        )
+        assert summary.benchmarks["bench"]["recall"] == 0.5
+
+
+class TestCompareSummaries:
+    def test_identical_passes(self):
+        assert compare_summaries(_summary(), _summary()) == []
+
+    def test_small_drift_within_tolerance_passes(self):
+        current = _summary(recall=0.87, reid_invocations=1040.0)
+        assert compare_summaries(current, _summary()) == []
+
+    def test_recall_drop_fails(self):
+        current = _summary(recall=0.80)
+        failures = compare_summaries(current, _summary())
+        assert len(failures) == 1
+        assert "recall regressed" in failures[0]
+
+    def test_invocation_growth_fails(self):
+        current = _summary(reid_invocations=1100.0)  # +10%
+        failures = compare_summaries(current, _summary())
+        assert len(failures) == 1
+        assert "reid_invocations regressed" in failures[0]
+
+    def test_simulated_ms_not_gated(self):
+        current = _summary(simulated_ms=5e6)
+        assert compare_summaries(current, _summary()) == []
+
+    def test_missing_benchmark_fails(self):
+        failures = compare_summaries(BenchSummary(), _summary())
+        assert failures and "missing from this run" in failures[0]
+
+    def test_new_benchmark_passes(self):
+        current = _summary()
+        current.add(
+            "fresh", recall=0.1, reid_invocations=9e9, simulated_ms=1.0
+        )
+        assert compare_summaries(current, _summary()) == []
+
+    def test_tolerance_validated(self):
+        with pytest.raises(ValueError, match="tolerance"):
+            compare_summaries(_summary(), _summary(), tolerance=1.5)
+
+    def test_custom_tolerance(self):
+        current = _summary(reid_invocations=1040.0)  # +4%
+        assert compare_summaries(current, _summary(), tolerance=0.01)
+
+
+class TestGateAgainstCommittedBaseline:
+    """The acceptance criterion: tampering with the committed baseline's
+    metrics by 10% must flip the gate from OK to FAIL."""
+
+    def test_committed_baseline_gates_itself(self):
+        failures = gate_summary_files(BASELINE_PATH, BASELINE_PATH)
+        assert failures == []
+
+    def _tampered(self, tmp_path, factor: float, metric: str) -> Path:
+        document = json.loads(BASELINE_PATH.read_text())
+        for metrics in document["benchmarks"].values():
+            metrics[metric] *= factor
+        tampered = tmp_path / "tampered_summary.json"
+        tampered.write_text(json.dumps(document))
+        return tampered
+
+    def test_ten_percent_invocation_regression_fails(self, tmp_path):
+        tampered = self._tampered(tmp_path, 1.10, "reid_invocations")
+        failures = gate_summary_files(tampered, BASELINE_PATH)
+        assert failures
+        assert all("reid_invocations" in f for f in failures)
+
+    def test_ten_percent_recall_drop_fails(self, tmp_path):
+        tampered = self._tampered(tmp_path, 0.90, "recall")
+        failures = gate_summary_files(tampered, BASELINE_PATH)
+        assert failures
+        assert all("recall" in f for f in failures)
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        ok = main(
+            [
+                "gate",
+                "--current",
+                str(BASELINE_PATH),
+                "--baseline",
+                str(BASELINE_PATH),
+            ]
+        )
+        assert ok == 0
+        assert "bench gate: OK" in capsys.readouterr().out
+
+        tampered = self._tampered(tmp_path, 1.10, "reid_invocations")
+        fail = main(
+            [
+                "gate",
+                "--current",
+                str(tampered),
+                "--baseline",
+                str(BASELINE_PATH),
+            ]
+        )
+        assert fail == 1
+        assert "bench gate: FAIL" in capsys.readouterr().out

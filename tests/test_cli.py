@@ -17,5 +17,8 @@ class TestCli:
             main(["fig99"])
 
     def test_every_figure_registered(self):
-        expected = {f"fig{i}" for i in range(3, 14)} | {"faults"}
+        expected = {f"fig{i}" for i in range(3, 14)} | {
+            "faults",
+            "telemetry",
+        }
         assert set(_RUNNERS) == expected

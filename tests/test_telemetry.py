@@ -1,0 +1,347 @@
+"""Telemetry layer: metrics semantics, spans on the simulated clock,
+JSONL round-trips, the @profiled hook, and the bit-identity guarantee
+(a pipeline run with telemetry injected produces exactly the same
+merge results as one without)."""
+
+import math
+
+import pytest
+from helpers import tiny_world
+
+from repro.core.pipeline import IngestionPipeline
+from repro.core.tmerge import TMerge
+from repro.reid import CostModel
+from repro.telemetry import (
+    MetricsRegistry,
+    Profiler,
+    Telemetry,
+    Tracer,
+    profiled,
+)
+from repro.telemetry.tracing import (
+    Span,
+    load_spans_jsonl,
+    spans_from_jsonl,
+)
+from repro.track import TracktorTracker
+
+
+# ---------------------------------------------------------------------------
+# Counters, gauges, histograms
+# ---------------------------------------------------------------------------
+class TestMetrics:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.inc("reid.invocations")
+        registry.inc("reid.invocations", 4)
+        assert registry.value("reid.invocations") == 5.0
+
+    def test_counter_rejects_negative(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.inc("x", -1.0)
+
+    def test_value_of_absent_metric_is_zero(self):
+        assert MetricsRegistry().value("never.touched") == 0.0
+
+    def test_gauge_moves_both_ways(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("g", 3.0)
+        registry.set_gauge("g", 1.5)
+        assert registry.value("g") == 1.5
+
+    def test_histogram_summary(self):
+        registry = MetricsRegistry()
+        for value in (0.5, 2.0, 50.0):
+            registry.observe("ms", value)
+        h = registry.histogram("ms")
+        assert h.count == 3
+        assert h.total == pytest.approx(52.5)
+        assert h.mean == pytest.approx(17.5)
+        assert h.min_value == 0.5
+        assert h.max_value == 50.0
+
+    def test_histogram_bucketing(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("ms", bounds=(1.0, 10.0))
+        for value in (0.2, 0.9, 5.0, 1e9):
+            h.observe(value)
+        assert h.bucket_counts == [2, 1, 1]  # <=1, <=10, +inf
+
+    def test_histogram_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("bad", bounds=(2.0, 1.0))
+
+    def test_snapshot_delta(self):
+        registry = MetricsRegistry()
+        registry.inc("a", 2)
+        before = registry.counters_snapshot()
+        registry.inc("a", 3)
+        registry.inc("b")
+        moved = MetricsRegistry.delta(registry.counters_snapshot(), before)
+        assert moved == {"a": 3.0, "b": 1.0}
+
+    def test_delta_drops_unmoved(self):
+        registry = MetricsRegistry()
+        registry.inc("quiet")
+        snap = registry.counters_snapshot()
+        assert MetricsRegistry.delta(snap, snap) == {}
+
+    def test_report_lists_every_instrument(self):
+        registry = MetricsRegistry()
+        registry.inc("c", 2)
+        registry.set_gauge("g", 7)
+        registry.observe("h", 3.0)
+        report = registry.report()
+        assert "c = 2" in report
+        assert "g = 7 (gauge)" in report
+        assert "h: count=1" in report
+
+
+# ---------------------------------------------------------------------------
+# Spans on the simulated clock
+# ---------------------------------------------------------------------------
+class TestTracing:
+    def test_span_nesting_on_simulated_clock(self):
+        cost = CostModel()
+        tracer = Tracer(clock=cost)
+        with tracer.span("outer", method="TMerge") as outer:
+            cost.charge_extract(2)  # 10 simulated ms
+            with tracer.span("inner") as inner:
+                cost.charge_extract(1)  # 5 more
+        assert outer.span_id == 1
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+        assert outer.start_ms == 0.0
+        assert inner.start_ms == pytest.approx(10.0)
+        assert inner.end_ms == pytest.approx(15.0)
+        assert outer.end_ms == pytest.approx(15.0)
+        assert outer.duration_ms == pytest.approx(15.0)
+        assert outer.attributes == {"method": "TMerge"}
+
+    def test_spans_close_in_completion_order(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        assert [s.name for s in tracer.spans] == ["b", "a"]
+        assert tracer.current is None
+
+    def test_unbound_clock_stamps_zero(self):
+        tracer = Tracer()
+        with tracer.span("free") as span:
+            pass
+        assert span.start_ms == 0.0 and span.end_ms == 0.0
+
+    def test_span_survives_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        assert tracer.spans[0].end_ms is not None
+        assert tracer.current is None
+
+    def test_jsonl_round_trip(self):
+        cost = CostModel()
+        tracer = Tracer(clock=cost)
+        with tracer.span("window", window_id=3):
+            cost.charge_distance(100)
+        restored = spans_from_jsonl(tracer.to_jsonl())
+        assert [s.to_dict() for s in restored] == [
+            s.to_dict() for s in sorted(tracer.spans, key=lambda s: s.span_id)
+        ]
+
+    def test_export_jsonl_file(self, tmp_path):
+        cost = CostModel()
+        tracer = Tracer(clock=cost)
+        with tracer.span("a"):
+            with tracer.span("b"):
+                cost.charge_extract()
+        path = tmp_path / "trace.jsonl"
+        assert tracer.export_jsonl(str(path)) == 2
+        spans = load_spans_jsonl(str(path))
+        assert [s.name for s in spans] == ["a", "b"]  # id order
+        assert spans[1].parent_id == spans[0].span_id
+
+    def test_open_span_round_trips_none_end(self):
+        span = Span(span_id=1, parent_id=None, name="open", start_ms=2.0)
+        assert Span.from_dict(span.to_dict()).end_ms is None
+
+
+# ---------------------------------------------------------------------------
+# @profiled
+# ---------------------------------------------------------------------------
+class _Widget:
+    def __init__(self, telemetry=None):
+        self.telemetry = telemetry
+
+    @profiled
+    def work(self, x):
+        return x * 2
+
+    @profiled(name="widget.slow")
+    def named(self):
+        return "ok"
+
+
+class TestProfiling:
+    def test_passthrough_without_telemetry(self):
+        assert _Widget().work(21) == 42
+
+    def test_records_with_telemetry(self):
+        telemetry = Telemetry()
+        widget = _Widget(telemetry)
+        assert widget.work(1) == 2
+        widget.work(2)
+        stats = telemetry.profiler.hotspots()
+        assert len(stats) == 1
+        assert stats[0].name == "_Widget.work"
+        assert stats[0].calls == 2
+        assert stats[0].total_seconds >= 0.0
+
+    def test_custom_label(self):
+        telemetry = Telemetry()
+        _Widget(telemetry).named()
+        assert telemetry.profiler.hotspots()[0].name == "widget.slow"
+
+    def test_hotspots_ranked_by_total_time(self):
+        profiler = Profiler()
+        profiler.record("cheap", 0.001)
+        profiler.record("hot", 0.5)
+        profiler.record("hot", 0.5)
+        ranked = profiler.hotspots(top=2)
+        assert [s.name for s in ranked] == ["hot", "cheap"]
+        assert ranked[0].mean_seconds == pytest.approx(0.5)
+        assert "hot" in profiler.report()
+
+    def test_empty_report(self):
+        assert "no profiled calls" in Profiler().report()
+
+
+# ---------------------------------------------------------------------------
+# Facade
+# ---------------------------------------------------------------------------
+class TestFacade:
+    def test_shortcuts_hit_the_registry(self):
+        telemetry = Telemetry()
+        telemetry.count("c", 3)
+        telemetry.set_gauge("g", 9)
+        telemetry.observe("h", 1.0)
+        assert telemetry.metrics.value("c") == 3.0
+        assert telemetry.metrics.value("g") == 9.0
+        assert telemetry.metrics.histogram("h").count == 1
+
+    def test_bind_clock_reaches_spans(self):
+        telemetry = Telemetry()
+        cost = CostModel()
+        telemetry.bind_clock(cost)
+        assert telemetry.clock is cost
+        cost.charge_extract()
+        with telemetry.span("s") as span:
+            pass
+        assert span.start_ms == pytest.approx(5.0)
+
+    def test_report_combines_metrics_and_hotspots(self):
+        telemetry = Telemetry()
+        telemetry.count("reid.invocations", 7)
+        telemetry.profiler.record("f", 0.01)
+        report = telemetry.report()
+        assert "reid.invocations = 7" in report
+        assert "hotspots" in report
+
+
+# ---------------------------------------------------------------------------
+# Pipeline integration: bit-identity and per-window metrics
+# ---------------------------------------------------------------------------
+def _pipeline(telemetry=None):
+    return IngestionPipeline(
+        tracker=TracktorTracker(),
+        merger=TMerge(k=0.1, tau_max=400, batch_size=10, seed=3),
+        window_length=300,
+        telemetry=telemetry,
+    )
+
+
+class TestPipelineIntegration:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        world = tiny_world(n_frames=600, seed=4)
+        plain = _pipeline().run(world)
+        telemetry = Telemetry()
+        observed = _pipeline(telemetry).run(world)
+        return plain, observed, telemetry
+
+    def test_bit_identical_with_telemetry(self, runs):
+        plain, observed, _ = runs
+        assert plain.selected_pairs == observed.selected_pairs
+        assert [t.track_id for t in plain.merged_tracks] == [
+            t.track_id for t in observed.merged_tracks
+        ]
+        assert plain.id_map == observed.id_map
+        assert plain.cost.milliseconds == observed.cost.milliseconds
+        for a, b in zip(plain.window_results, observed.window_results):
+            assert a.scores == b.scores
+            assert a.candidate_keys == b.candidate_keys
+
+    def test_window_metrics_populated(self, runs):
+        _, observed, _ = runs
+        assert len(observed.window_metrics) == len(observed.windows)
+        busy = [
+            metrics
+            for metrics, pairs in zip(
+                observed.window_metrics, observed.window_pairs
+            )
+            if pairs
+        ]
+        assert busy, "expected at least one non-empty window"
+        for metrics in busy:
+            assert metrics.get("reid.invocations", 0.0) > 0
+            assert metrics.get("cost.simulated_ms", 0.0) > 0
+
+    def test_plain_run_records_no_window_metrics(self, runs):
+        plain, _, _ = runs
+        assert plain.window_metrics == []
+
+    def test_counters_match_cost_model(self, runs):
+        _, observed, telemetry = runs
+        total_invocations = (
+            observed.cost.n_extractions
+            + observed.cost.n_batched_extractions
+        )
+        assert telemetry.metrics.value("reid.invocations") == float(
+            total_invocations
+        )
+        assert telemetry.metrics.value("cost.simulated_ms") == pytest.approx(
+            observed.cost.milliseconds
+        )
+        assert telemetry.metrics.value(
+            "tmerge.thompson_draws"
+        ) > 0
+
+    def test_spans_cover_every_window(self, runs):
+        _, observed, telemetry = runs
+        spans = telemetry.tracer.spans
+        ingest = [s for s in spans if s.name == "ingest"]
+        windows = [s for s in spans if s.name == "window"]
+        assert len(ingest) == 1
+        assert len(windows) == len(observed.windows)
+        assert all(s.parent_id == ingest[0].span_id for s in windows)
+        assert sorted(
+            s.attributes["window_id"] for s in windows
+        ) == list(range(len(observed.windows)))
+        for span in windows:
+            assert span.end_ms >= span.start_ms
+            assert math.isfinite(span.duration_ms)
+
+    def test_merge_spans_nest_inside_windows(self, runs):
+        _, _, telemetry = runs
+        window_ids = {
+            s.span_id
+            for s in telemetry.tracer.spans
+            if s.name == "window"
+        }
+        merges = [
+            s for s in telemetry.tracer.spans if s.name == "tmerge.run"
+        ]
+        assert merges
+        assert all(s.parent_id in window_ids for s in merges)
