@@ -183,6 +183,47 @@ def check_window_length(
         )
 
 
+def check_shard_cover(
+    covered: Iterable[int],
+    expected: Iterable[int],
+    where: str = "parallel",
+) -> None:
+    """Shard outputs must cover every expected window exactly once.
+
+    The parallel engine (:mod:`repro.parallel`) asserts that the
+    reassembled window outcomes form a partition of the busy windows:
+    no window lost, none computed twice, none invented.
+
+    Raises:
+        ContractViolation: on duplicated, missing or unexpected window
+            indices.
+    """
+    if not ENABLED:
+        return
+    seen: set[int] = set()
+    duplicates: set[int] = set()
+    for index in covered:
+        if index in seen:
+            duplicates.add(index)
+        seen.add(index)
+    if duplicates:
+        raise ContractViolation(
+            f"{where}: windows {sorted(duplicates)} produced by more than "
+            "one shard"
+        )
+    expected_set = set(expected)
+    missing = expected_set - seen
+    if missing:
+        raise ContractViolation(
+            f"{where}: windows {sorted(missing)} missing from shard outputs"
+        )
+    extra = seen - expected_set
+    if extra:
+        raise ContractViolation(
+            f"{where}: unexpected windows {sorted(extra)} in shard outputs"
+        )
+
+
 #: Legal circuit-breaker transitions (see DESIGN.md §7): the breaker may
 #: trip from closed, cool down from open, and resolve a trial either way.
 LEGAL_BREAKER_TRANSITIONS = frozenset(

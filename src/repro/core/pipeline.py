@@ -245,6 +245,21 @@ class IngestionPipeline:
             simulated clock, and :attr:`IngestionResult.window_metrics`
             carries per-window counter deltas.  Telemetry is pure
             observation — results are bit-identical with it on or off.
+        workers: ``None`` (default) keeps the legacy strictly-serial
+            path, bit-for-bit.  Any integer ≥ 1 switches to the
+            window-sharded engine (:mod:`repro.parallel`), whose
+            *window-local* determinism regime makes results a pure
+            function of ``(seed, window index)``: ``workers=1`` runs
+            the per-window tasks inline through the pre-existing
+            :func:`run_resilient_window` code path, and every higher
+            worker count reproduces that run bit-identically (enforced
+            by ``tests/test_parallel_equivalence.py``).  The engine
+            regime is *not* bit-identical to ``workers=None`` because
+            the legacy path threads one ReID RNG stream, feature cache,
+            clock and breaker through all windows — see DESIGN.md §9.
+        parallel_backend: pool flavour for ``workers`` ≥ 2 —
+            ``"process"`` (default, real CPU parallelism) or
+            ``"thread"`` (shared memory, GIL-bound).
     """
 
     tracker: Tracker
@@ -259,6 +274,8 @@ class IngestionPipeline:
     fault_profile: FaultProfile | None = None
     resilience: ResilienceConfig | None = None
     telemetry: Telemetry | None = None
+    workers: int | None = None
+    parallel_backend: str = "process"
 
     def _resilience(self) -> ResilienceConfig | None:
         """The effective resilience config (auto-on under a fault profile)."""
@@ -289,6 +306,8 @@ class IngestionPipeline:
     ) -> IngestionResult:
         """Ingest starting from precomputed tracks (lets experiments share
         one tracker run across many merger configurations)."""
+        if self.workers is not None:
+            return self._run_sharded(world, detections, tracks)
         telemetry = self.telemetry
         cost = CostModel(self.cost_params, telemetry=telemetry)
         if telemetry is not None:
@@ -385,16 +404,7 @@ class IngestionPipeline:
                         )
                     )
 
-        selected = []
-        for result in window_results:
-            for key in result.candidate_keys:
-                if (
-                    self.merge_score_threshold is not None
-                    and result.scores.get(key, 0.0)
-                    >= self.merge_score_threshold
-                ):
-                    continue
-                selected.append(key)
+        selected = self._select_keys(window_results)
         merged, id_map = merge_tracks(tracks, selected)
         return IngestionResult(
             world=world,
@@ -412,6 +422,91 @@ class IngestionPipeline:
                 else {}
             ),
             window_metrics=window_metrics,
+        )
+
+    def _select_keys(self, window_results: list[MergeResult]) -> list:
+        """Candidate keys to auto-merge, honoring the score threshold."""
+        selected = []
+        for result in window_results:
+            for key in result.candidate_keys:
+                if (
+                    self.merge_score_threshold is not None
+                    and result.scores.get(key, 0.0)
+                    >= self.merge_score_threshold
+                ):
+                    continue
+                selected.append(key)
+        return selected
+
+    def _run_sharded(
+        self,
+        world: VideoGroundTruth,
+        detections: list[list[Detection]],
+        tracks: list[Track],
+    ) -> IngestionResult:
+        """The ``workers`` path: window-sharded engine, window-local seeds.
+
+        Windows and pair sets are built exactly as on the serial path;
+        the per-window merge work is then fanned out through
+        :func:`repro.parallel.run_windows` and reassembled in index
+        order.  See the ``workers`` attribute docstring for the
+        determinism regime.
+        """
+        # Imported lazily: repro.parallel imports this module.
+        from repro.parallel import run_windows
+
+        telemetry = self.telemetry
+        windows = partition_windows(
+            world.n_frames, self.window_length, l_max=self.l_max
+        )
+        windowed = WindowedTracks.assign(tracks, windows)
+        window_pairs = [
+            build_track_pairs(
+                windowed.tracks_of(c), windowed.previous_tracks_of(c)
+            )
+            for c in range(len(windows))
+        ]
+        ingest_span = (
+            telemetry.span(
+                "ingest",
+                method=self.merger.name,
+                n_windows=len(windows),
+                n_tracks=len(tracks),
+                workers=self.workers,
+                backend=self.parallel_backend,
+            )
+            if telemetry is not None
+            else nullcontext()
+        )
+        with ingest_span:
+            run = run_windows(
+                world=world,
+                window_pairs=window_pairs,
+                merger=self.merger,
+                cost_params=self.cost_params,
+                reid_seed=self.reid_seed,
+                fault_profile=self.fault_profile,
+                resilience=self._resilience(),
+                n_workers=self.workers,
+                backend=self.parallel_backend,
+                telemetry=telemetry,
+            )
+        if telemetry is not None:
+            telemetry.bind_clock(run.cost)
+        selected = self._select_keys(run.window_results)
+        merged, id_map = merge_tracks(tracks, selected)
+        return IngestionResult(
+            world=world,
+            detections=detections,
+            tracks=tracks,
+            windows=windows,
+            window_pairs=window_pairs,
+            window_results=run.window_results,
+            merged_tracks=merged,
+            id_map=id_map,
+            cost=run.cost,
+            resilience_stats=run.resilience_stats,
+            window_metrics=run.window_metrics,
         )
 
     def _run_window(

@@ -18,11 +18,14 @@ class MergeResult:
         candidates: the returned top-⌈K·|P_c|⌉ pair candidates
             (the estimated ``P̂*_{c|K}``), best first.
         scores: estimated (or exact) normalized score per pair key.
-        n_pairs: ``|P_c]``.
+        n_pairs: ``|P_c|``.
         k: the K used.
         simulated_seconds: simulated clock charged by this run.
         iterations: sampling iterations performed (0 for the baseline).
-        extra: algorithm-specific diagnostics (pruning counts, regret, …).
+        extra: algorithm-specific diagnostics (pruning counts, regret,
+            flags, labels, …).  Any JSON-serializable value is allowed —
+            the annotation is deliberately wide because diagnostics are
+            not all numeric (see ``tests/test_parallel.py``).
         degraded: True when the run fell back to reduced evidence (the
             ReID dependency became unavailable mid-window and the
             candidates rest partly or wholly on spatial priors).
@@ -35,7 +38,7 @@ class MergeResult:
     k: float
     simulated_seconds: float
     iterations: int = 0
-    extra: dict[str, float] = field(default_factory=dict)
+    extra: dict[str, object] = field(default_factory=dict)
     degraded: bool = False
 
     def __post_init__(self) -> None:

@@ -36,7 +36,7 @@ class BenchSummary:
     """An ordered collection of per-benchmark metric records."""
 
     def __init__(self) -> None:
-        self.benchmarks: dict[str, dict[str, float]] = {}
+        self.benchmarks: dict[str, dict[str, object]] = {}
 
     def add(
         self,
@@ -44,13 +44,24 @@ class BenchSummary:
         recall: float,
         reid_invocations: float,
         simulated_ms: float,
+        extras: dict[str, float] | None = None,
     ) -> None:
-        """Record one benchmark's metrics (re-adding a name overwrites)."""
-        self.benchmarks[name] = {
+        """Record one benchmark's metrics (re-adding a name overwrites).
+
+        ``extras`` carries ungated, machine-specific observations (e.g.
+        the parallel engine's wall-clock speedup); the gate compares
+        only :data:`METRIC_KEYS` and ignores them entirely.
+        """
+        record = {
             "recall": float(recall),
             "reid_invocations": float(reid_invocations),
             "simulated_ms": float(simulated_ms),
         }
+        if extras:
+            record["extras"] = {
+                key: float(value) for key, value in sorted(extras.items())
+            }
+        self.benchmarks[name] = record
 
     def to_dict(self) -> dict:
         """The JSON document this summary serializes to."""
@@ -90,6 +101,7 @@ class BenchSummary:
                 recall=metrics["recall"],
                 reid_invocations=metrics["reid_invocations"],
                 simulated_ms=metrics["simulated_ms"],
+                extras=metrics.get("extras"),
             )
         return summary
 

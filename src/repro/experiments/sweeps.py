@@ -51,6 +51,8 @@ def evaluate_merger(
     fault_profile: FaultProfile | None = None,
     resilience: ResilienceConfig | None = None,
     telemetry: Telemetry | None = None,
+    workers: int | None = None,
+    parallel_backend: str = "process",
 ) -> MethodPoint:
     """Run one algorithm configuration over every window of every video.
 
@@ -73,9 +75,30 @@ def evaluate_merger(
             shared across all videos of the evaluation (counters, spans,
             hotspots).  Purely observational: results are bit-identical
             with it on or off.
+        workers: ``None`` (default) keeps the serial per-video loop;
+            an integer routes every video through the window-sharded
+            engine (:func:`repro.parallel.run_windows`) with that many
+            workers.  Engine results are a pure function of the seeds
+            and window indices, so any worker count yields the same
+            :class:`MethodPoint` bit-for-bit.
+        parallel_backend: ``"process"`` or ``"thread"`` pool for the
+            engine path (ignored when ``workers`` is ``None``).
     """
     if resilience is None and fault_profile is not None:
         resilience = ResilienceConfig()
+    if workers is not None:
+        return _evaluate_merger_sharded(
+            factory,
+            videos,
+            reid_seed=reid_seed,
+            cost_params=cost_params,
+            parameter=parameter,
+            fault_profile=fault_profile,
+            resilience=resilience,
+            telemetry=telemetry,
+            workers=workers,
+            parallel_backend=parallel_backend,
+        )
     recs: list[float] = []
     total_seconds = 0.0
     total_frames = 0
@@ -130,6 +153,79 @@ def evaluate_merger(
         total_seconds += cost.seconds
         total_frames += video.n_frames
         reid_invocations += cost.n_extractions + cost.n_batched_extractions
+
+    avg_rec = sum(recs) / len(recs) if recs else 1.0
+    fps = total_frames / total_seconds if total_seconds > 0 else float("inf")
+    return MethodPoint(
+        method=method,
+        rec=avg_rec,
+        fps=fps,
+        simulated_seconds=total_seconds,
+        parameter=parameter,
+        degraded_windows=degraded_windows,
+        reid_invocations=reid_invocations,
+    )
+
+
+def _evaluate_merger_sharded(
+    factory: MergerFactory,
+    videos: list[PreparedVideo],
+    reid_seed: int,
+    cost_params: CostParams | None,
+    parameter: float | None,
+    fault_profile: FaultProfile | None,
+    resilience: ResilienceConfig | None,
+    telemetry: Telemetry | None,
+    workers: int,
+    parallel_backend: str,
+) -> MethodPoint:
+    """The ``workers`` path of :func:`evaluate_merger`.
+
+    Each video's windows run through the window-sharded engine under
+    the window-local determinism regime (see :mod:`repro.parallel`);
+    the aggregation below mirrors the serial loop exactly, so for a
+    fixed seed the returned :class:`MethodPoint` is identical for every
+    worker count and backend.
+    """
+    from repro.parallel import run_windows
+
+    recs: list[float] = []
+    total_seconds = 0.0
+    total_frames = 0
+    degraded_windows = 0
+    reid_invocations = 0
+    method = ""
+    for video in videos:
+        video.reset_sampling()
+        merger = factory()
+        method = merger.name
+        run = run_windows(
+            world=video.world,
+            window_pairs=video.window_pairs,
+            merger=merger,
+            cost_params=cost_params,
+            reid_seed=reid_seed,
+            fault_profile=fault_profile,
+            resilience=resilience,
+            n_workers=workers,
+            backend=parallel_backend,
+            telemetry=telemetry,
+        )
+        for pairs, result, gt_keys in zip(
+            video.window_pairs, run.window_results, video.window_gt
+        ):
+            if not pairs:
+                continue
+            if result.degraded:
+                degraded_windows += 1
+            rec = window_recall(result.candidate_keys, gt_keys)
+            if rec is not None:
+                recs.append(rec)
+        total_seconds += run.cost.seconds
+        total_frames += video.n_frames
+        reid_invocations += (
+            run.cost.n_extractions + run.cost.n_batched_extractions
+        )
 
     avg_rec = sum(recs) / len(recs) if recs else 1.0
     fps = total_frames / total_seconds if total_seconds > 0 else float("inf")

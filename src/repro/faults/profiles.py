@@ -107,12 +107,51 @@ class FaultProfile:
         """This profile re-seeded (a distinct, equally reproducible run)."""
         return replace(self, seed=seed)
 
-    def wrap_model(self, model) -> FaultyReidModel:
-        """Wrap a ReID model with this profile's call/feature injectors."""
+    def window_seam_seeds(
+        self, n_windows: int
+    ) -> list[
+        tuple[
+            np.random.SeedSequence,
+            np.random.SeedSequence,
+            np.random.SeedSequence,
+        ]
+    ]:
+        """Per-window ``(call, corrupt, crash)`` seed substreams.
+
+        Window-local execution (:mod:`repro.parallel`) gives every
+        window an independent child of each seam's root sequence, so a
+        window's fault schedule is a pure function of
+        ``(profile seed, window index)`` — independent of worker count
+        and scheduling order.  Children come from the same per-seam
+        roots :meth:`_rng` uses, so adding a seam never perturbs the
+        others.
+        """
+        roots = np.random.SeedSequence(self.seed).spawn(4)
+        call = roots[_STREAM_CALL].spawn(n_windows)
+        corrupt = roots[_STREAM_CORRUPT].spawn(n_windows)
+        crash = roots[_STREAM_CRASH].spawn(n_windows)
+        return list(zip(call, corrupt, crash))
+
+    def wrap_model(
+        self,
+        model,
+        call_rng: np.random.Generator | None = None,
+        corruption_rng: np.random.Generator | None = None,
+    ) -> FaultyReidModel:
+        """Wrap a ReID model with this profile's call/feature injectors.
+
+        Args:
+            model: the extractor to wrap.
+            call_rng: optional override of the call-fault generator
+                (the parallel engine passes a per-window substream);
+                defaults to the profile's run-level seam stream.
+            corruption_rng: optional override of the corruption
+                generator, same convention.
+        """
         call = None
         if self.reid_failure_rate > 0 or self.reid_timeout_rate > 0:
             call = ReidCallFaultInjector(
-                self._rng(_STREAM_CALL),
+                call_rng if call_rng is not None else self._rng(_STREAM_CALL),
                 failure_rate=self.reid_failure_rate,
                 timeout_rate=self.reid_timeout_rate,
                 timeout_penalty_ms=self.timeout_penalty_ms,
@@ -120,7 +159,9 @@ class FaultProfile:
         corruption = None
         if self.corrupt_rate > 0:
             corruption = FeatureCorruptionInjector(
-                self._rng(_STREAM_CORRUPT),
+                corruption_rng
+                if corruption_rng is not None
+                else self._rng(_STREAM_CORRUPT),
                 rate=self.corrupt_rate,
                 mode=self.corrupt_mode,
             )
@@ -134,10 +175,18 @@ class FaultProfile:
             self._rng(_STREAM_FRAMES), rate=self.frame_drop_rate
         )
 
-    def window_crasher(self) -> WindowCrashInjector:
-        """A fresh window-crash injector on this profile's schedule."""
+    def window_crasher(
+        self, rng: np.random.Generator | None = None
+    ) -> WindowCrashInjector:
+        """A fresh window-crash injector on this profile's schedule.
+
+        Args:
+            rng: optional override of the crash-schedule generator (the
+                parallel engine passes a per-window substream); defaults
+                to the profile's run-level seam stream.
+        """
         return WindowCrashInjector(
-            self._rng(_STREAM_CRASH),
+            rng if rng is not None else self._rng(_STREAM_CRASH),
             crash_rate=self.window_crash_rate,
             min_calls=self.crash_min_calls,
             max_calls=self.crash_max_calls,

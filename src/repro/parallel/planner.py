@@ -1,0 +1,134 @@
+"""Deterministic shard planning for window-parallel execution.
+
+The paper's windowing (§II) makes per-window merge work embarrassingly
+parallel: each window owns a disjoint track set and its pair set ``P_c``
+is evaluated independently.  The :class:`ShardPlanner` turns that shape
+into an execution plan — which worker runs which windows — while keeping
+every random draw a pure function of ``(seed, window index)``:
+
+* **Shard assignment** is round-robin over the busy (non-empty) window
+  indices, so the plan depends only on the window list and the worker
+  count, never on scheduling order.
+* **Seed substreams** are derived per window with
+  :meth:`numpy.random.SeedSequence.spawn`: window ``c`` always receives
+  the ``c``-th child of the run's root sequence, so its ReID noise and
+  fault schedules are identical whether it runs first, last, in-process
+  or in a pool of eight workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.faults.profiles import FaultProfile
+
+
+@dataclass(frozen=True)
+class WindowSeeds:
+    """Per-window seed substreams, one per randomness seam.
+
+    Attributes:
+        model: substream of the ReID extraction noise.
+        call: substream of the ReID call-fault schedule (``None`` when
+            the run has no fault profile).
+        corrupt: substream of the feature-corruption schedule.
+        crash: substream of the window-crash schedule.
+    """
+
+    model: np.random.SeedSequence
+    call: np.random.SeedSequence | None = None
+    corrupt: np.random.SeedSequence | None = None
+    crash: np.random.SeedSequence | None = None
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One worker's slice of the run.
+
+    Attributes:
+        shard_id: 0-based shard index.
+        window_indices: the window indices this shard executes, in
+            ascending order.
+    """
+
+    shard_id: int
+    window_indices: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A complete, deterministic window → shard assignment.
+
+    Attributes:
+        n_workers: the worker count the plan was built for.
+        shards: the non-empty shards (at most ``n_workers``).
+    """
+
+    n_workers: int
+    shards: tuple[Shard, ...]
+
+    def covered_indices(self) -> list[int]:
+        """Every window index the plan executes, across all shards."""
+        covered: list[int] = []
+        for shard in self.shards:
+            covered.extend(shard.window_indices)
+        return covered
+
+
+class ShardPlanner:
+    """Assigns windows to shards deterministically.
+
+    Args:
+        n_workers: target worker count (≥ 1).  The plan never produces
+            more shards than there are busy windows.
+    """
+
+    def __init__(self, n_workers: int) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.n_workers = n_workers
+
+    def plan(self, window_indices: Sequence[int]) -> ShardPlan:
+        """Round-robin ``window_indices`` over the workers.
+
+        Shard ``i`` receives indices ``sorted(window_indices)[i::n]`` —
+        a pure function of the input and the worker count, independent
+        of any runtime scheduling.  Empty shards are dropped.
+        """
+        ordered = sorted(window_indices)
+        if len(set(ordered)) != len(ordered):
+            raise ValueError("window_indices must be unique")
+        shards = []
+        for shard_id in range(self.n_workers):
+            assigned = tuple(ordered[shard_id :: self.n_workers])
+            if assigned:
+                shards.append(Shard(shard_id, assigned))
+        return ShardPlan(n_workers=self.n_workers, shards=tuple(shards))
+
+
+def window_seeds(
+    reid_seed: int,
+    n_windows: int,
+    fault_profile: FaultProfile | None = None,
+) -> list[WindowSeeds]:
+    """Derive every window's seed substreams from the run-level seeds.
+
+    Window ``c``'s model stream is ``SeedSequence(reid_seed).spawn(n)[c]``
+    and its fault streams are the ``c``-th children of the profile's
+    per-seam root sequences (see
+    :meth:`~repro.faults.profiles.FaultProfile.window_seam_seeds`), so a
+    window's entire randomness is fixed by ``(seed, c)`` alone.
+    """
+    if n_windows < 0:
+        raise ValueError("n_windows must be non-negative")
+    model_children = np.random.SeedSequence(reid_seed).spawn(n_windows)
+    if fault_profile is None:
+        return [WindowSeeds(model=child) for child in model_children]
+    seams = fault_profile.window_seam_seeds(n_windows)
+    return [
+        WindowSeeds(model=model, call=call, corrupt=corrupt, crash=crash)
+        for model, (call, corrupt, crash) in zip(model_children, seams)
+    ]

@@ -181,6 +181,24 @@ class CostModel:
             "wait_ms": self.wait_ms,
         }
 
+    def merge_state(self, state: dict[str, float]) -> None:
+        """Add another clock's :meth:`state_dict` into this one.
+
+        Used by the parallel engine (:mod:`repro.parallel`) to fold
+        window-local clocks into the run-level clock in window-index
+        order, so the aggregate is worker-count independent.  Pure
+        accumulation — nothing is mirrored into telemetry (the worker
+        counters already carried every per-charge record).
+        """
+        self._ms += float(state["ms"])
+        self.n_extractions += int(state["n_extractions"])
+        self.n_batched_extractions += int(state["n_batched_extractions"])
+        self.n_batch_calls += int(state["n_batch_calls"])
+        self.n_distances += int(state["n_distances"])
+        self.n_overheads += int(state["n_overheads"])
+        self.n_waits += int(state["n_waits"])
+        self.wait_ms += float(state["wait_ms"])
+
     def load_state_dict(self, state: dict[str, float]) -> None:
         """Restore a state captured by :meth:`state_dict`."""
         self._ms = float(state["ms"])

@@ -88,14 +88,17 @@ class SimReIDModel:
     Args:
         world: the GT video whose objects' latents back the features.
         params: noise configuration.
-        seed: seed of the extraction noise stream.
+        seed: seed of the extraction noise stream — an ``int`` or a
+            :class:`numpy.random.SeedSequence` substream (the parallel
+            engine passes per-window children so every window's noise
+            is independent of execution order).
     """
 
     def __init__(
         self,
         world: VideoGroundTruth,
         params: ReidParams | None = None,
-        seed: int = 0,
+        seed: int | np.random.SeedSequence = 0,
     ) -> None:
         self.params = params or ReidParams(dim=world.config.appearance_dim)
         if self.params.dim != world.config.appearance_dim:

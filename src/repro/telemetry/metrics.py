@@ -214,6 +214,20 @@ class MetricsRegistry:
                 moved[name] = change
         return moved
 
+    def merge_delta(self, delta: dict[str, float]) -> None:
+        """Fold a counter delta into this registry.
+
+        ``delta`` is the output of :meth:`delta` — or a worker-local
+        registry's :meth:`counters_snapshot`, which is a delta by
+        construction because the worker registry starts empty.  The
+        parallel engine merges worker counters through this method in
+        window-index order, so merged totals are worker-count
+        independent down to float accumulation order.
+        """
+        for name, amount in delta.items():
+            if amount:
+                self.counter(name).inc(amount)
+
     def snapshot(self) -> dict[str, float]:
         """Every instrument flattened to ``name -> value`` floats.
 

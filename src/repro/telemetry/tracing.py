@@ -133,6 +133,44 @@ class Tracer:
             record.end_ms = self._now()
             self.spans.append(record)
 
+    def absorb(
+        self, spans: list[Span], parent_id: int | None = None
+    ) -> list[Span]:
+        """Adopt finished spans from another tracer (a worker's).
+
+        Every absorbed span receives a fresh sequential id from this
+        tracer; internal parent/child links are remapped, and root spans
+        are re-parented under ``parent_id`` (default: the currently open
+        span, or ``None``).  Timestamps are kept verbatim — they remain
+        on the *worker's* clock (window-local simulated milliseconds for
+        parallel runs).  Absorbed spans are appended in id (start)
+        order.
+        """
+        if parent_id is None and self.current is not None:
+            parent_id = self.current.span_id
+        id_map: dict[int, int] = {}
+        adopted: list[Span] = []
+        for span in sorted(spans, key=lambda s: s.span_id):
+            new_id = self._next_id
+            self._next_id += 1
+            id_map[span.span_id] = new_id
+            new_parent = (
+                id_map.get(span.parent_id, parent_id)
+                if span.parent_id is not None
+                else parent_id
+            )
+            record = Span(
+                span_id=new_id,
+                parent_id=new_parent,
+                name=span.name,
+                start_ms=span.start_ms,
+                end_ms=span.end_ms,
+                attributes=dict(span.attributes),
+            )
+            self.spans.append(record)
+            adopted.append(record)
+        return adopted
+
     # ------------------------------------------------------------------
     # Export
     # ------------------------------------------------------------------

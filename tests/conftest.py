@@ -15,6 +15,8 @@ sys.path.insert(0, str(Path(__file__).parent))
 
 from helpers import tiny_world  # noqa: E402
 
+from repro.core.pipeline import IngestionPipeline  # noqa: E402
+from repro.core.tmerge import TMerge  # noqa: E402
 from repro.detect import NoisyDetector  # noqa: E402
 from repro.track import TracktorTracker  # noqa: E402
 
@@ -33,3 +35,34 @@ def detections(world):
 @pytest.fixture(scope="session")
 def tracks(world, detections):
     return TracktorTracker().run(detections)
+
+
+@pytest.fixture(scope="session")
+def chaos_world():
+    """The busier 240-frame world the pipeline/resilience/chaos/parallel
+    tests share (read-only): enough concurrent objects and track churn
+    to produce several non-trivial windows."""
+    return tiny_world(n_frames=240, seed=21, initial_objects=6,
+                      max_objects=10, spawn_rate=0.03)
+
+
+@pytest.fixture
+def make_pipeline():
+    """Factory for the canonical test ingestion pipeline.
+
+    Returns a callable accepting :class:`IngestionPipeline` keyword
+    overrides; the defaults (TracktorTracker + a small TMerge) match the
+    historical per-module setups so results stay comparable across test
+    files.
+    """
+
+    def build(**overrides) -> IngestionPipeline:
+        config = dict(
+            tracker=TracktorTracker(),
+            merger=TMerge(k=0.1, tau_max=300, batch_size=10, seed=3),
+            window_length=300,
+        )
+        config.update(overrides)
+        return IngestionPipeline(**config)
+
+    return build

@@ -13,8 +13,6 @@ import os
 
 import pytest
 
-from helpers import tiny_world
-
 from repro.core.pipeline import IngestionPipeline
 from repro.core.tmerge import TMerge
 from repro.faults import fault_profile
@@ -22,12 +20,6 @@ from repro.resilience import CheckpointStore
 from repro.track import TracktorTracker
 
 PROFILE_NAME = os.environ.get("REPRO_FAULT_PROFILE", "flaky-reid")
-
-
-@pytest.fixture(scope="module")
-def chaos_world():
-    return tiny_world(n_frames=240, seed=21, initial_objects=6,
-                      max_objects=10, spawn_rate=0.03)
 
 
 def test_pipeline_survives_profile(chaos_world):

@@ -20,5 +20,6 @@ class TestCli:
         expected = {f"fig{i}" for i in range(3, 14)} | {
             "faults",
             "telemetry",
+            "parallel",
         }
         assert set(_RUNNERS) == expected

@@ -1,9 +1,5 @@
 """Integration tests for the end-to-end ingestion pipeline."""
 
-import pytest
-
-from helpers import tiny_world
-
 from repro.core.pipeline import IngestionPipeline
 from repro.core.tmerge import TMerge
 from repro.core.baseline import BaselineMerger
@@ -12,72 +8,66 @@ from repro.metrics.recall import average_recall
 from repro.track import TracktorTracker
 
 
-@pytest.fixture(scope="module")
-def pipeline_world():
-    return tiny_world(n_frames=240, seed=21, initial_objects=6,
-                      max_objects=10, spawn_rate=0.03)
-
-
 class TestIngestionPipeline:
-    def test_end_to_end_shapes(self, pipeline_world):
+    def test_end_to_end_shapes(self, chaos_world):
         pipeline = IngestionPipeline(
             tracker=TracktorTracker(),
             merger=TMerge(k=0.1, tau_max=400, batch_size=10, seed=3),
             window_length=300,
         )
-        result = pipeline.run(pipeline_world)
-        assert len(result.detections) == pipeline_world.n_frames
+        result = pipeline.run(chaos_world)
+        assert len(result.detections) == chaos_world.n_frames
         assert len(result.windows) == len(result.window_pairs)
         assert len(result.windows) == len(result.window_results)
         assert result.tracks, "expected tracks"
         assert len(result.merged_tracks) <= len(result.tracks)
         assert result.fps > 0
 
-    def test_merging_only_applies_candidates(self, pipeline_world):
+    def test_merging_only_applies_candidates(self, chaos_world):
         pipeline = IngestionPipeline(
             tracker=TracktorTracker(),
             merger=TMerge(k=0.05, tau_max=300, batch_size=10, seed=3),
             window_length=300,
         )
-        result = pipeline.run(pipeline_world)
+        result = pipeline.run(chaos_world)
         n_selected = len(set(result.selected_pairs))
         assert len(result.tracks) - len(result.merged_tracks) <= n_selected
 
-    def test_id_map_covers_all_tracks(self, pipeline_world):
+    def test_id_map_covers_all_tracks(self, chaos_world):
         pipeline = IngestionPipeline(
             tracker=TracktorTracker(),
             merger=TMerge(k=0.05, tau_max=200, batch_size=10, seed=3),
             window_length=300,
         )
-        result = pipeline.run(pipeline_world)
+        result = pipeline.run(chaos_world)
         assert set(result.id_map) == {t.track_id for t in result.tracks}
         merged_ids = {t.track_id for t in result.merged_tracks}
         assert set(result.id_map.values()) == merged_ids
 
-    def test_cost_accumulates_across_windows(self, pipeline_world):
+    def test_cost_accumulates_across_windows(self, chaos_world):
         pipeline = IngestionPipeline(
             tracker=TracktorTracker(),
             merger=BaselineMerger(k=0.05),
             window_length=150,
         )
-        result = pipeline.run(pipeline_world)
+        result = pipeline.run(chaos_world)
         assert result.cost.seconds > 0
         assert result.total_simulated_seconds <= result.cost.seconds + 1e-9
 
-    def test_run_on_tracks_reuses_tracker_output(self, pipeline_world):
+    def test_run_on_tracks_reuses_tracker_output(self, chaos_world):
         from repro.detect import NoisyDetector
 
-        detections = NoisyDetector().detect_video(pipeline_world, seed=2)
+        detections = NoisyDetector().detect_video(chaos_world, seed=2)
         tracks = TracktorTracker().run(detections)
         pipeline = IngestionPipeline(
             tracker=TracktorTracker(),
             merger=TMerge(k=0.05, tau_max=200, batch_size=10, seed=3),
             window_length=300,
         )
-        result = pipeline.run_on_tracks(pipeline_world, detections, tracks)
+        result = pipeline.run_on_tracks(chaos_world, detections, tracks)
         assert result.tracks is tracks
 
-    def test_baseline_pipeline_recall_high(self, pipeline_world):
+    def test_baseline_pipeline_recall_high(self, chaos_world):
         """The exhaustive baseline through the pipeline finds most true
         polyonymous pairs at K=0.1."""
         pipeline = IngestionPipeline(
@@ -85,8 +75,8 @@ class TestIngestionPipeline:
             merger=BaselineMerger(k=0.1),
             window_length=300,
         )
-        result = pipeline.run(pipeline_world)
-        assignment = match_tracks_to_gt(result.tracks, pipeline_world)
+        result = pipeline.run(chaos_world)
+        assignment = match_tracks_to_gt(result.tracks, chaos_world)
         per_window = []
         for pairs, window_result in zip(
             result.window_pairs, result.window_results
@@ -97,7 +87,7 @@ class TestIngestionPipeline:
 
 
 class TestMergeScoreThreshold:
-    def test_threshold_limits_merging(self, pipeline_world):
+    def test_threshold_limits_merging(self, chaos_world):
         permissive = IngestionPipeline(
             tracker=TracktorTracker(),
             merger=TMerge(k=0.2, tau_max=300, batch_size=10, seed=3),
@@ -109,7 +99,7 @@ class TestMergeScoreThreshold:
             window_length=300,
             merge_score_threshold=0.0,  # nothing is confident enough
         )
-        merged_all = permissive.run(pipeline_world)
-        merged_none = strict.run(pipeline_world)
+        merged_all = permissive.run(chaos_world)
+        merged_none = strict.run(chaos_world)
         assert len(merged_none.merged_tracks) == len(merged_none.tracks)
         assert len(merged_all.merged_tracks) <= len(merged_none.merged_tracks)

@@ -14,7 +14,9 @@ from repro.core import (
     build_track_pairs,
 )
 from repro.core.results import top_k_count
+from repro.core.windows import WindowedTracks, partition_windows
 from repro.metrics.recall import window_recall
+from repro.parallel import ShardPlanner
 
 
 def _random_pairs(n_tracks: int, track_len: int, n_sources: int, seed: int):
@@ -108,6 +110,93 @@ def test_draws_never_exceed_pools(seed, n_sources):
     )
     for pair in pairs:
         assert pair.n_sampled <= pair.n_bbox_pairs
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n_frames=st.integers(1, 600),
+    window_length=st.integers(2, 200),
+)
+def test_window_ownership_is_a_partition(n_frames, window_length):
+    """Every frame falls in exactly one window's ownership region."""
+    windows = partition_windows(n_frames, window_length)
+    owners_per_frame = [
+        sum(1 for w in windows if w.start <= frame < w.ownership_end)
+        for frame in range(n_frames)
+    ]
+    assert all(count == 1 for count in owners_per_frame)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n_tracks=st.integers(1, 12),
+    track_len=st.integers(1, 20),
+    window_length=st.integers(4, 60),
+    seed=st.integers(0, 100),
+)
+def test_pairs_unique_across_windows(n_tracks, track_len, window_length, seed):
+    """Eq. 1: every unordered track pair appears in at most one window."""
+    rng = np.random.default_rng(seed)
+    horizon = 3 * window_length
+    tracks = []
+    for i in range(n_tracks):
+        start = int(rng.integers(0, horizon))
+        tracks.append(
+            make_track(i, list(range(start, start + track_len)))
+        )
+    n_frames = max(t.last_frame for t in tracks) + 1
+    windows = partition_windows(n_frames, window_length)
+    windowed = WindowedTracks.assign(tracks, windows)
+    keys = []
+    for c in range(len(windows)):
+        pairs = build_track_pairs(
+            windowed.tracks_of(c), windowed.previous_tracks_of(c)
+        )
+        keys.extend(pair.key for pair in pairs)
+    assert len(keys) == len(set(keys))
+
+
+@settings(max_examples=50, deadline=None)
+@given(n_pairs=st.integers(0, 500), k=st.floats(0.0, 1.0))
+def test_top_k_count_bounds(n_pairs, k):
+    """0 ≤ ⌈K·n⌉ ≤ n for every K in [0, 1]."""
+    count = top_k_count(n_pairs, k)
+    assert 0 <= count <= n_pairs
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n_pairs=st.integers(0, 300),
+    k_low=st.floats(0.0, 1.0),
+    k_high=st.floats(0.0, 1.0),
+    extra=st.integers(0, 50),
+)
+def test_top_k_count_monotone(n_pairs, k_low, k_high, extra):
+    """The budget is monotone in both K and the pair count."""
+    if k_low > k_high:
+        k_low, k_high = k_high, k_low
+    assert top_k_count(n_pairs, k_low) <= top_k_count(n_pairs, k_high)
+    assert top_k_count(n_pairs, k_low) <= top_k_count(n_pairs + extra, k_low)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n_windows=st.integers(0, 60),
+    n_workers=st.integers(1, 12),
+    seed=st.integers(0, 100),
+)
+def test_shard_plan_is_a_partition(n_windows, n_workers, seed):
+    """Every busy window lands in exactly one shard, none invented."""
+    rng = np.random.default_rng(seed)
+    indices = [
+        c for c in range(n_windows) if rng.random() < 0.7
+    ]
+    plan = ShardPlanner(n_workers).plan(indices)
+    covered = plan.covered_indices()
+    assert sorted(covered) == sorted(indices)
+    assert len(covered) == len(set(covered))
+    assert len(plan.shards) <= n_workers
+    assert all(shard.window_indices for shard in plan.shards)
 
 
 @settings(max_examples=10, deadline=None)

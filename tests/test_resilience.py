@@ -15,7 +15,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from helpers import StubReidModel, make_track, planted_pairs, tiny_world
+from helpers import StubReidModel, make_track, planted_pairs
 
 from repro import contracts
 from repro.core import TMerge, run_resilient_window
@@ -381,12 +381,6 @@ class TestDegradedMerge:
         assert rec >= rec_floor
 
 
-@pytest.fixture(scope="module")
-def resilience_world():
-    return tiny_world(n_frames=240, seed=21, initial_objects=6,
-                      max_objects=10, spawn_rate=0.03)
-
-
 def run_pipeline(world, profile=None, resilience=None, merger=None):
     pipeline = IngestionPipeline(
         tracker=TracktorTracker(),
@@ -399,10 +393,10 @@ def run_pipeline(world, profile=None, resilience=None, merger=None):
 
 
 class TestPipelineResilience:
-    def test_fault_free_bit_identical_with_and_without(self, resilience_world):
-        plain = run_pipeline(resilience_world)
+    def test_fault_free_bit_identical_with_and_without(self, chaos_world):
+        plain = run_pipeline(chaos_world)
         resilient = run_pipeline(
-            resilience_world, resilience=ResilienceConfig()
+            chaos_world, resilience=ResilienceConfig()
         )
         for a, b in zip(plain.window_results, resilient.window_results):
             assert a.candidate_keys == b.candidate_keys
@@ -411,9 +405,9 @@ class TestPipelineResilience:
         assert plain.cost.seconds == resilient.cost.seconds
         assert resilient.resilience_stats["transient_faults"] == 0.0
 
-    def test_flaky_reid_completes_end_to_end(self, resilience_world):
+    def test_flaky_reid_completes_end_to_end(self, chaos_world):
         profile = fault_profile("flaky-reid", seed=7)
-        result = run_pipeline(resilience_world, profile=profile)
+        result = run_pipeline(chaos_world, profile=profile)
         assert len(result.window_results) == len(result.windows)
         assert result.resilience_stats["transient_faults"] > 0
         for window_result in result.window_results:
@@ -421,20 +415,20 @@ class TestPipelineResilience:
                 0.0 <= v <= 1.0 for v in window_result.scores.values()
             )
 
-    def test_reid_offline_marks_every_window_degraded(self, resilience_world):
+    def test_reid_offline_marks_every_window_degraded(self, chaos_world):
         profile = fault_profile("reid-offline", seed=7)
-        result = run_pipeline(resilience_world, profile=profile)
+        result = run_pipeline(chaos_world, profile=profile)
         nonempty = [
             c for c, pairs in enumerate(result.window_pairs) if pairs
         ]
         assert result.degraded_windows == nonempty
         assert result.resilience_stats["breaker_opens"] >= 1
 
-    def test_window_crash_recovers_bit_exactly(self, resilience_world):
-        baseline = run_pipeline(resilience_world)
+    def test_window_crash_recovers_bit_exactly(self, chaos_world):
+        baseline = run_pipeline(chaos_world)
         profile = fault_profile("window-crash", seed=7)
         crashed = run_pipeline(
-            resilience_world,
+            chaos_world,
             profile=profile,
             merger=TMerge(
                 k=0.1,
@@ -449,10 +443,10 @@ class TestPipelineResilience:
             assert a.candidate_keys == b.candidate_keys
             assert a.simulated_seconds == b.simulated_seconds
 
-    def test_dropped_frames_still_ingest(self, resilience_world):
+    def test_dropped_frames_still_ingest(self, chaos_world):
         profile = fault_profile("drop-frames", seed=7)
-        result = run_pipeline(resilience_world, profile=profile)
-        assert len(result.detections) == resilience_world.n_frames
+        result = run_pipeline(chaos_world, profile=profile)
+        assert len(result.detections) == chaos_world.n_frames
         assert any(frame == [] for frame in result.detections)
 
 
