@@ -1,0 +1,62 @@
+"""Analyzer-runtime benchmark: whole-program flow analysis over ``src``.
+
+Not a paper artefact — this records how long the DESIGN.md §11 static
+determinism analysis takes on the real codebase, plus its size
+counters, as **ungated extras** in ``bench_summary.json``.  Wall time
+is machine-dependent, so the regression gate ignores it; the entry
+exists to make analyzer slowdowns visible in CI artifacts over time.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from conftest import publish, record_summary
+
+from repro.lint.flow import FlowAnalysis, check_contracts
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_flow_analysis_runtime() -> None:
+    """Time one full build + contract check of ``src`` and record it."""
+    src = REPO_ROOT / "src"
+    start = time.perf_counter()
+    analysis = FlowAnalysis.build([src])
+    report = check_contracts(analysis)
+    elapsed_ms = (time.perf_counter() - start) * 1000.0
+    stats = analysis.stats()
+
+    assert stats["n_functions"] > 100, "analysis saw too little code"
+    assert not report.missing_roots, report.missing_roots
+
+    lines = [
+        "Whole-program flow analysis over src/ (DESIGN.md §11)",
+        "",
+        f"  wall time          {elapsed_ms:9.1f} ms",
+        f"  modules            {stats['n_modules']:9d}",
+        f"  functions          {stats['n_functions']:9d}",
+        f"  call edges         {stats['n_edges']:9d}",
+        f"  unresolved calls   {stats['n_unresolved_calls']:9d}",
+        f"  effectful funcs    {stats['n_effectful_functions']:9d}",
+        f"  violations         {len(report.violations):9d} (pre-baseline)",
+    ]
+    publish("flow_analysis", "\n".join(lines))
+    record_summary(
+        "flow_analysis",
+        recall=1.0,
+        reid_invocations=0.0,
+        simulated_ms=0.0,
+        extras={
+            "analysis_wall_ms": round(elapsed_ms, 1),
+            "n_modules": float(stats["n_modules"]),
+            "n_functions": float(stats["n_functions"]),
+            "n_edges": float(stats["n_edges"]),
+            "n_unresolved_calls": float(stats["n_unresolved_calls"]),
+            "n_effectful_functions": float(
+                stats["n_effectful_functions"]
+            ),
+            "n_violations_pre_baseline": float(len(report.violations)),
+        },
+    )

@@ -153,11 +153,11 @@ def check_ulb_partition(
             f"{where}: arms {sorted(overlap)} both accepted and rejected"
         )
     out_of_range = [
-        arm for arm in accepted | rejected if not 0 <= arm < n_arms
+        arm for arm in sorted(accepted | rejected) if not 0 <= arm < n_arms
     ]
     if out_of_range:
         raise ContractViolation(
-            f"{where}: arm indices {sorted(out_of_range)} outside "
+            f"{where}: arm indices {out_of_range} outside "
             f"[0, {n_arms})"
         )
 

@@ -1,12 +1,23 @@
 """Command-line entry point: ``python -m repro.lint <paths...>``.
 
-Exit status is 0 when every file is clean, 1 when violations (or parse
-errors) were found, and 2 on usage errors such as an unknown rule id.
+Two modes share the executable:
+
+* **per-file** (default) — the REPRO001–010 AST rules over every file;
+* **whole-program** (``--flow``) — the REPRO101–106 seam-contract
+  analysis of :mod:`repro.lint.flow`, with text or JSON output and the
+  committed baseline of known-accepted effects.
+
+Exit status is 0 when clean, 1 when violations (or parse errors, or
+non-baselined flow violations) were found, and 2 on usage errors.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import re
+import sys
+from pathlib import Path
 from typing import Sequence
 
 from repro.lint.engine import lint_paths
@@ -18,16 +29,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.lint",
         description=(
-            "Repo-specific AST linter enforcing the TMerge stack's "
-            "invariants (reproducible randomness, simulated-cost purity, "
-            "well-formed public API)."
+            "Repo-specific static analysis for the TMerge stack: per-file "
+            "AST rules (REPRO001-010) and, with --flow, the whole-program "
+            "determinism analysis (REPRO101-106) that proves the parallel "
+            "engine's seam contract."
         ),
     )
     parser.add_argument(
         "paths",
         nargs="*",
-        default=["src", "tests", "benchmarks"],
-        help="files or directories to lint (default: src tests benchmarks)",
+        default=None,
+        help=(
+            "files or directories to lint (default: src tests benchmarks; "
+            "with --flow: src)"
+        ),
     )
     parser.add_argument(
         "--select",
@@ -37,14 +52,184 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list-rules",
         action="store_true",
-        help="print every rule id, title and rationale, then exit",
+        help=(
+            "print every rule and flow diagnostic (id, title, rationale), "
+            "then exit"
+        ),
+    )
+    parser.add_argument(
+        "--check-docs",
+        metavar="DOC",
+        help=(
+            "with --list-rules: verify DOC names every shipped rule id and "
+            "mentions no unknown REPROxxx id (exit 1 on drift)"
+        ),
     )
     parser.add_argument(
         "--quiet",
         action="store_true",
         help="suppress per-violation lines; print only the summary",
     )
+    parser.add_argument(
+        "--flow",
+        action="store_true",
+        help=(
+            "run the whole-program determinism analysis instead of the "
+            "per-file rules"
+        ),
+    )
+    parser.add_argument(
+        "--format",
+        dest="output_format",
+        choices=("text", "json"),
+        default="text",
+        help="--flow report format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="PATH",
+        help="also write the --flow report (in the chosen format) to PATH",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help=(
+            "flow baseline file of accepted effects "
+            "(default: lint-flow-baseline.json when it exists)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; report every violation as new",
+    )
     return parser
+
+
+def _list_rules(check_docs: str | None) -> int:
+    """Print the combined rule registry; optionally drift-check a doc."""
+    from repro.lint.flow.effects import DIAGNOSTICS_BY_ID
+
+    entries = [
+        (rule.rule_id, rule.title, rule.rationale) for rule in ALL_RULES
+    ] + [
+        (diag.rule_id, diag.title, diag.rationale)
+        for diag in sorted(
+            DIAGNOSTICS_BY_ID.values(), key=lambda d: d.rule_id
+        )
+    ]
+    for rule_id, title, rationale in entries:
+        print(f"{rule_id}  {title}")
+        print(f"    {rationale}")
+    if check_docs is None:
+        return 0
+    doc_path = Path(check_docs)
+    if not doc_path.is_file():
+        print(f"--check-docs: {check_docs} not found", file=sys.stderr)
+        return 2
+    doc = doc_path.read_text(encoding="utf-8")
+    known = {rule_id for rule_id, _, _ in entries}
+    mentioned = set(re.findall(r"REPRO\d{3}", doc))
+    missing = sorted(known - mentioned)
+    unknown = sorted(mentioned - known)
+    if missing:
+        print(
+            f"--check-docs: {check_docs} does not mention shipped rule(s): "
+            + ", ".join(missing)
+        )
+    if unknown:
+        print(
+            f"--check-docs: {check_docs} mentions unknown rule id(s): "
+            + ", ".join(unknown)
+        )
+    if missing or unknown:
+        return 1
+    print(f"--check-docs: {check_docs} is in sync ({len(known)} rules)")
+    return 0
+
+
+def _run_flow(args: argparse.Namespace) -> int:
+    """The ``--flow`` mode body."""
+    from repro.lint.flow import (
+        DEFAULT_BASELINE_PATH,
+        Baseline,
+        FlowAnalysis,
+        check_contracts,
+        split_by_baseline,
+    )
+
+    paths = args.paths if args.paths else ["src"]
+    baseline = Baseline()
+    baseline_path: str | None = None
+    if not args.no_baseline:
+        candidate = args.baseline or DEFAULT_BASELINE_PATH
+        if Path(candidate).is_file():
+            baseline_path = candidate
+            baseline = Baseline.load(candidate)
+        elif args.baseline is not None:
+            print(f"baseline file not found: {candidate}", file=sys.stderr)
+            return 2
+
+    analysis = FlowAnalysis.build(paths)
+    report = check_contracts(analysis)
+    split = split_by_baseline(report.violations, baseline)
+    stats = analysis.stats()
+
+    document = {
+        "schema": 1,
+        "stats": stats,
+        "baseline": baseline_path,
+        "violations": [
+            {**violation.to_dict(), "baselined": False}
+            for violation in split.new
+        ]
+        + [
+            {**violation.to_dict(), "baselined": True}
+            for violation in split.suppressed
+        ],
+        "stale_suppressions": split.stale_keys,
+        "missing_roots": [
+            {"contract": contract, "root": root}
+            for contract, root in report.missing_roots
+        ],
+    }
+
+    if args.output_format == "json":
+        rendered = json.dumps(document, indent=2)
+    else:
+        lines: list[str] = []
+        if not args.quiet:
+            for violation in split.new:
+                lines.append(violation.render())
+            for violation in split.suppressed:
+                lines.append(f"baselined: {violation.key}")
+        for contract, root in report.missing_roots:
+            lines.append(
+                f"warning: contract `{contract}` root `{root}` not found "
+                "in the analyzed code (renamed seam? update the contract)"
+            )
+        for key in split.stale_keys:
+            lines.append(f"warning: stale baseline suppression: {key}")
+        lines.append(
+            f"flow: {stats['n_modules']} module(s), "
+            f"{stats['n_functions']} function(s), "
+            f"{stats['n_edges']} edge(s); "
+            f"{len(split.new)} new violation(s), "
+            f"{len(split.suppressed)} baselined"
+        )
+        rendered = "\n".join(lines)
+    print(rendered)
+    if args.output:
+        output_path = Path(args.output)
+        output_path.parent.mkdir(parents=True, exist_ok=True)
+        if args.output_format == "json":
+            output_path.write_text(rendered + "\n")
+        else:
+            output_path.write_text(
+                json.dumps(document, indent=2) + "\n"
+            )
+    return 1 if split.new else 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -53,10 +238,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        for rule in ALL_RULES:
-            print(f"{rule.rule_id}  {rule.title}")
-            print(f"    {rule.rationale}")
-        return 0
+        return _list_rules(args.check_docs)
+
+    if args.flow:
+        if args.select:
+            parser.error("--select applies to per-file rules, not --flow")
+        return _run_flow(args)
 
     if args.select:
         wanted = [part.strip() for part in args.select.split(",") if part.strip()]
@@ -67,7 +254,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     else:
         rules = list(ALL_RULES)
 
-    report = lint_paths(args.paths, rules=rules)
+    report = lint_paths(args.paths or ["src", "tests", "benchmarks"], rules=rules)
 
     if not args.quiet:
         for path, message in report.parse_errors:

@@ -30,16 +30,25 @@ SKIP_DIRS = frozenset(
         "venv",
         "build",
         "dist",
+        "fixtures",
         "node_modules",
     }
 )
+
+
+def _skipped_dir(name: str) -> bool:
+    """True for basenames :func:`iter_python_files` never descends into."""
+    return name in SKIP_DIRS or name.startswith(".")
 
 
 def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
     """Yield every ``*.py`` file under ``paths``, depth-first and sorted.
 
     Files are yielded once even when the given paths overlap; hidden and
-    cache directories (see :data:`SKIP_DIRS`) are skipped.
+    cache directories (see :data:`SKIP_DIRS`) are skipped — including
+    when such a directory is passed directly, not just when it is found
+    while walking (directly-passed *files* are always honoured: naming a
+    concrete ``*.py`` file is an explicit request to lint it).
     """
     seen: set[Path] = set()
     for raw in paths:
@@ -50,11 +59,11 @@ def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
                 seen.add(resolved)
                 yield root
             continue
+        if _skipped_dir(root.name):
+            continue
         for dirpath, dirnames, filenames in os.walk(root):
             dirnames[:] = sorted(
-                d
-                for d in dirnames
-                if d not in SKIP_DIRS and not d.startswith(".")
+                d for d in dirnames if not _skipped_dir(d)
             )
             for filename in sorted(filenames):
                 if not filename.endswith(".py"):

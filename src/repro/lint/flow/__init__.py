@@ -1,0 +1,71 @@
+"""repro.lint.flow — whole-program determinism analysis.
+
+The per-file rules (REPRO001–010) cannot see across call boundaries: a
+``time.time()`` smuggled three calls below
+:func:`repro.parallel.executor.run_windows` passes every per-file check
+outside the cost-path subpackages.  This package closes that gap with a
+stdlib-:mod:`ast` dataflow pass:
+
+1. :mod:`~repro.lint.flow.modules` — module/import graph with re-export
+   chasing;
+2. :mod:`~repro.lint.flow.callgraph` — per-function direct-effect
+   inference (six effect classes, seam exemptions) and conservative
+   call-graph extraction;
+3. :mod:`~repro.lint.flow.analysis` — fixed-point transitive
+   propagation (the kernel, :func:`propagate`, is pure and
+   property-tested for monotonicity);
+4. :mod:`~repro.lint.flow.contract` — root specs and the checker that
+   renders violating paths as readable call chains (REPRO101–106);
+5. :mod:`~repro.lint.flow.baseline` — the committed suppression file
+   for by-design effects.
+
+Run it with ``python -m repro.lint --flow src`` (text) or
+``--flow --format json`` (machine-readable, CI-artifact-friendly).
+"""
+
+from repro.lint.flow.analysis import FlowAnalysis, propagate
+from repro.lint.flow.baseline import (
+    DEFAULT_BASELINE_PATH,
+    Baseline,
+    BaselineSplit,
+    split_by_baseline,
+)
+from repro.lint.flow.callgraph import FunctionUnit, build_function_index
+from repro.lint.flow.contract import (
+    DEFAULT_CONTRACTS,
+    ContractReport,
+    ContractSpec,
+    FlowViolation,
+    check_contracts,
+)
+from repro.lint.flow.effects import (
+    ALL_EFFECTS,
+    DIAGNOSTICS,
+    DIAGNOSTICS_BY_ID,
+    EffectOrigin,
+    FlowDiagnostic,
+)
+from repro.lint.flow.modules import ModuleGraph, ModuleInfo
+
+__all__ = [
+    "FlowAnalysis",
+    "propagate",
+    "DEFAULT_BASELINE_PATH",
+    "Baseline",
+    "BaselineSplit",
+    "split_by_baseline",
+    "FunctionUnit",
+    "build_function_index",
+    "DEFAULT_CONTRACTS",
+    "ContractReport",
+    "ContractSpec",
+    "FlowViolation",
+    "check_contracts",
+    "ALL_EFFECTS",
+    "DIAGNOSTICS",
+    "DIAGNOSTICS_BY_ID",
+    "EffectOrigin",
+    "FlowDiagnostic",
+    "ModuleGraph",
+    "ModuleInfo",
+]

@@ -1,0 +1,157 @@
+"""Fixed-point effect propagation over the call graph.
+
+:func:`propagate` is the analysis kernel, kept deliberately abstract —
+a dictionary of direct effect sets and a dictionary of edges in, the
+least fixed point out.  Abstractness buys two things: the hypothesis
+property tests can drive it with arbitrary generated graphs (adding an
+edge must never *remove* inferred effects — monotonicity), and the
+worklist has no knowledge of Python, files or seams to get wrong.
+
+:class:`FlowAnalysis` binds the kernel to a real
+:class:`~repro.lint.flow.modules.ModuleGraph`: it owns the function
+index, the per-function transitive effect sets, and shortest-chain
+reconstruction for diagnostics.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from repro.lint.flow.callgraph import FunctionUnit, build_function_index
+from repro.lint.flow.effects import EffectOrigin
+from repro.lint.flow.modules import ModuleGraph
+
+
+def propagate(
+    direct: Mapping[str, frozenset[str]],
+    edges: Mapping[str, Iterable[str]],
+) -> dict[str, frozenset[str]]:
+    """Least fixed point of ``effects(f) = direct(f) ∪ ⋃ effects(callee)``.
+
+    Nodes appearing only in ``edges`` (as sources or targets) start from
+    the empty effect set.  The worklist iterates until stable; the
+    lattice (powersets of a finite effect alphabet, ordered by ⊆) is
+    finite and the transfer function monotone, so termination is
+    guaranteed and the result is edge-monotone: adding an edge can only
+    grow (never shrink) any node's inferred set — the property
+    ``tests/test_lint_flow.py`` checks with hypothesis.
+    """
+    nodes: set[str] = set(direct)
+    for source, targets in edges.items():
+        nodes.add(source)
+        nodes.update(targets)
+    effects: dict[str, frozenset[str]] = {
+        node: frozenset(direct.get(node, frozenset())) for node in nodes
+    }
+    callers: dict[str, set[str]] = {node: set() for node in nodes}
+    callees: dict[str, set[str]] = {node: set() for node in nodes}
+    for source, targets in edges.items():
+        for target in targets:
+            callers[target].add(source)
+            callees[source].add(target)
+    worklist = deque(nodes)
+    queued = set(worklist)
+    while worklist:
+        node = worklist.popleft()
+        queued.discard(node)
+        combined = effects[node]
+        for callee in callees[node]:
+            combined |= effects[callee]
+        if combined != effects[node]:
+            effects[node] = combined
+            for caller in callers[node]:
+                if caller not in queued:
+                    worklist.append(caller)
+                    queued.add(caller)
+    return effects
+
+
+@dataclass
+class FlowAnalysis:
+    """The whole-program analysis of one set of paths.
+
+    Attributes:
+        graph: the parsed module graph.
+        functions: qualname → :class:`~repro.lint.flow.callgraph.FunctionUnit`.
+        effects: qualname → transitively inferred effect set.
+    """
+
+    graph: ModuleGraph
+    functions: dict[str, FunctionUnit]
+    effects: dict[str, frozenset[str]] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, paths: Iterable[str | Path]) -> "FlowAnalysis":
+        """Parse, scan and solve the fixed point for ``paths``."""
+        graph = ModuleGraph.build(paths)
+        functions = build_function_index(graph)
+        direct = {
+            name: frozenset(
+                origin.effect for origin in unit.direct_effects
+            )
+            for name, unit in functions.items()
+        }
+        edges = {name: unit.callees for name, unit in functions.items()}
+        analysis = cls(graph=graph, functions=functions)
+        analysis.effects = propagate(direct, edges)
+        return analysis
+
+    def effects_of(self, qualname: str) -> frozenset[str]:
+        """The transitive effect set of ``qualname`` (empty if unknown)."""
+        return self.effects.get(qualname, frozenset())
+
+    def reachable_from(self, root: str) -> set[str]:
+        """Every function reachable from ``root`` (``root`` included)."""
+        if root not in self.functions:
+            return set()
+        seen = {root}
+        frontier = deque([root])
+        while frontier:
+            current = frontier.popleft()
+            for callee in self.functions[current].callees:
+                if callee not in seen:
+                    seen.add(callee)
+                    frontier.append(callee)
+        return seen
+
+    def shortest_chain(self, root: str, target: str) -> list[str] | None:
+        """Shortest call chain ``root → … → target``, or ``None``.
+
+        BFS with callees visited in sorted order, so the reported chain
+        is deterministic across runs and machines.
+        """
+        if root not in self.functions:
+            return None
+        parents: dict[str, str | None] = {root: None}
+        frontier = deque([root])
+        while frontier:
+            current = frontier.popleft()
+            if current == target:
+                chain = [current]
+                while parents[chain[-1]] is not None:
+                    chain.append(parents[chain[-1]])
+                return list(reversed(chain))
+            for callee in sorted(self.functions[current].callees):
+                if callee not in parents:
+                    parents[callee] = current
+                    frontier.append(callee)
+        return None
+
+    def stats(self) -> dict[str, int]:
+        """Coarse size counters for reporting and the runtime bench."""
+        return {
+            "n_modules": len(self.graph.modules),
+            "n_functions": len(self.functions),
+            "n_edges": sum(
+                len(unit.callees) for unit in self.functions.values()
+            ),
+            "n_unresolved_calls": sum(
+                len(unit.unresolved) for unit in self.functions.values()
+            ),
+            "n_effectful_functions": sum(
+                1 for effects in self.effects.values() if effects
+            ),
+        }

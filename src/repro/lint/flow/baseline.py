@@ -1,0 +1,108 @@
+"""The committed baseline of known-accepted effects.
+
+Some effects are *by design*: the Profiler reads the wall clock because
+measuring real time is its job (and it is bit-transparent to results);
+the checkpoint store's disk mirror is opt-in file IO.  Rather than
+allowing whole effect classes, each accepted finding is suppressed
+individually in a committed JSON file, keyed by the violation's stable
+:attr:`~repro.lint.flow.contract.FlowViolation.key` and carrying a
+human rationale — so every exception to the seam contract is enumerated,
+reviewed and diff-visible.
+
+The CI job fails on any violation *not* in the baseline.  Stale entries
+(keys no longer produced) are reported as warnings so the file shrinks
+as code is fixed, instead of accreting dead suppressions.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.flow.contract import FlowViolation
+
+#: Format version stamped into the baseline file.
+BASELINE_SCHEMA = 1
+
+#: Default baseline location, relative to the invocation directory.
+DEFAULT_BASELINE_PATH = "lint-flow-baseline.json"
+
+
+@dataclass
+class Baseline:
+    """Suppressed violation keys with their rationales."""
+
+    suppressions: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Load a baseline file written by :meth:`write`.
+
+        Raises:
+            ValueError: on schema mismatch or entries missing a
+                rationale — an unexplained suppression is a bug.
+        """
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+        schema = int(document.get("schema", 0))
+        if schema != BASELINE_SCHEMA:
+            raise ValueError(
+                f"unsupported flow baseline schema {schema} "
+                f"(expected {BASELINE_SCHEMA})"
+            )
+        suppressions: dict[str, str] = {}
+        for entry in document.get("suppressions", []):
+            key = entry.get("key")
+            rationale = entry.get("rationale")
+            if not key or not rationale:
+                raise ValueError(
+                    "every baseline suppression needs both a `key` and a "
+                    f"`rationale` (got {entry!r})"
+                )
+            suppressions[key] = rationale
+        return cls(suppressions=suppressions)
+
+    def write(self, path: str | Path) -> Path:
+        """Write the baseline as stable, pretty-printed JSON."""
+        path = Path(path)
+        document = {
+            "schema": BASELINE_SCHEMA,
+            "suppressions": [
+                {"key": key, "rationale": rationale}
+                for key, rationale in sorted(self.suppressions.items())
+            ],
+        }
+        path.write_text(json.dumps(document, indent=2) + "\n")
+        return path
+
+
+@dataclass
+class BaselineSplit:
+    """Violations partitioned against a baseline.
+
+    Attributes:
+        new: violations with no suppression — these fail the run.
+        suppressed: baselined violations (reported, never fatal).
+        stale_keys: suppression keys no suppressed violation matched —
+            candidates for deletion from the baseline file.
+    """
+
+    new: list[FlowViolation] = field(default_factory=list)
+    suppressed: list[FlowViolation] = field(default_factory=list)
+    stale_keys: list[str] = field(default_factory=list)
+
+
+def split_by_baseline(
+    violations: list[FlowViolation], baseline: Baseline
+) -> BaselineSplit:
+    """Partition ``violations`` into new vs baselined, flag stale keys."""
+    split = BaselineSplit()
+    used: set[str] = set()
+    for violation in violations:
+        if violation.key in baseline.suppressions:
+            split.suppressed.append(violation)
+            used.add(violation.key)
+        else:
+            split.new.append(violation)
+    split.stale_keys = sorted(set(baseline.suppressions) - used)
+    return split

@@ -1,0 +1,765 @@
+"""Per-function effect inference and call-graph extraction.
+
+For every module-level function and every method in the
+:class:`~repro.lint.flow.modules.ModuleGraph`, a single AST pass infers:
+
+* **direct effects** — concrete :class:`~repro.lint.flow.effects.EffectOrigin`
+  records for wall-clock reads, ambient RNG construction, module-state
+  mutation, environment reads, file IO and set-order-dependent
+  iteration arising in the function's own body (nested functions and
+  lambdas fold into their enclosing function: they may run whenever it
+  does);
+* **call edges** — callees the resolver can name: local and imported
+  functions, constructors, methods on receivers typed from parameter
+  annotations, constructor sites, ``self`` attribute types and resolvable
+  return annotations, plus ``@decorator`` applications and property
+  accesses on typed receivers.
+
+Resolution is deliberately conservative: a callee the resolver cannot
+type contributes **no** effects (it is merely counted as unresolved).
+The analysis therefore under-approximates across dynamic dispatch —
+DESIGN.md §11 spells out the soundness trade, and the contract layer
+compensates by rooting the check at the concrete implementations
+(``TMerge.run`` itself, not just the ``Merger`` protocol).
+
+Seam exemptions are applied here, at the origin: constructing
+``default_rng(x)`` is *not* an effect when ``x`` derives from a local
+name (an injected seed, a ``SeedSequence`` substream, ``self.seed``) —
+only unseeded or constant-seeded construction is ambient.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.lint.flow.effects import (
+    ENV_READ,
+    FILE_IO,
+    GLOBAL_MUTATE,
+    RNG_CREATE,
+    UNORDERED_ITER,
+    WALL_CLOCK,
+    EffectOrigin,
+)
+from repro.lint.flow.modules import (
+    ClassInfo,
+    ModuleGraph,
+    ModuleInfo,
+    annotation_names,
+    dotted_name,
+)
+from repro.lint.rules import ALLOWED_NP_RANDOM, WALL_CLOCK_FUNCTIONS
+
+#: Wall-clock constructors on the stdlib ``datetime`` module.
+_DATETIME_NOW = frozenset({"now", "utcnow", "today"})
+
+#: ``os`` functions that touch the filesystem.
+_OS_FILE_FUNCTIONS = frozenset(
+    {
+        "remove",
+        "unlink",
+        "rename",
+        "replace",
+        "mkdir",
+        "makedirs",
+        "rmdir",
+        "removedirs",
+        "listdir",
+        "scandir",
+        "walk",
+        "stat",
+    }
+)
+
+#: Method names that are file IO on any receiver (``Path`` idioms).
+_PATH_IO_METHODS = frozenset(
+    {"read_text", "write_text", "read_bytes", "write_bytes"}
+)
+
+#: Method names that mutate their receiver in place.
+_MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "remove",
+        "pop",
+        "clear",
+        "update",
+        "setdefault",
+        "popitem",
+        "add",
+        "discard",
+        "sort",
+    }
+)
+
+#: Set methods whose result is itself a set.
+_SET_RETURNING_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference"}
+)
+
+#: Annotation heads that type a parameter as a set.
+_SET_ANNOTATIONS = frozenset(
+    {"set", "frozenset", "Set", "FrozenSet", "AbstractSet", "MutableSet"}
+)
+
+#: Builtins never counted as unresolved calls.
+_KNOWN_BUILTINS = frozenset(
+    {
+        "abs", "all", "any", "bool", "bytes", "bytearray", "callable",
+        "dict", "divmod", "enumerate", "filter", "float", "format",
+        "frozenset", "getattr", "hasattr", "hash", "id", "int",
+        "isinstance", "issubclass", "iter", "len", "list", "map", "max",
+        "min", "next", "object", "open", "pow", "print", "range", "repr",
+        "reversed", "round", "set", "setattr", "sorted", "str", "sum",
+        "super", "tuple", "type", "vars", "zip",
+    }
+)
+
+
+@dataclass
+class FunctionUnit:
+    """One analyzed function (or method) and what the pass inferred.
+
+    Attributes:
+        qualname: fully qualified name
+            (``repro.core.tmerge.TMerge.run``).
+        path: display path of the defining file.
+        line: 1-based line of the ``def``.
+        direct_effects: effect origins arising in this function's body.
+        callees: resolved callee qualnames (edges of the call graph).
+        unresolved: dotted call expressions the resolver could not type.
+        is_stub: ``...``-only protocol/overload body.
+    """
+
+    qualname: str
+    path: str
+    line: int
+    direct_effects: list[EffectOrigin] = field(default_factory=list)
+    callees: set[str] = field(default_factory=set)
+    unresolved: list[str] = field(default_factory=list)
+    is_stub: bool = False
+
+
+def _is_stub(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    body = [
+        stmt
+        for stmt in node.body
+        if not (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and isinstance(stmt.value.value, str)
+        )
+    ]
+    return len(body) == 1 and (
+        isinstance(body[0], ast.Expr)
+        and isinstance(body[0].value, ast.Constant)
+        and body[0].value.value is Ellipsis
+    )
+
+
+def _binding_names(target: ast.AST) -> set[str]:
+    """Names an assignment target actually binds.
+
+    ``x``, ``x, y = …``, ``[x, *rest] = …`` bind; ``obj.attr = …`` and
+    ``table[k] = …`` do *not* bind ``obj``/``table`` (they mutate an
+    existing object — exactly the stores REPRO103 must still see)."""
+    if isinstance(target, ast.Name):
+        return {target.id}
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: set[str] = set()
+        for element in target.elts:
+            names |= _binding_names(element)
+        return names
+    if isinstance(target, ast.Starred):
+        return _binding_names(target.value)
+    return set()
+
+
+def _bound_local_names(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Every name bound anywhere inside ``fn`` (nested scopes folded in),
+    excluding names the function declares ``global``."""
+    names: set[str] = set()
+    globals_: set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for arg in (
+                list(node.args.posonlyargs)
+                + list(node.args.args)
+                + list(node.args.kwonlyargs)
+            ):
+                names.add(arg.arg)
+            if node.args.vararg:
+                names.add(node.args.vararg.arg)
+            if node.args.kwarg:
+                names.add(node.args.kwarg.arg)
+            names.add(node.name)
+        elif isinstance(node, ast.Lambda):
+            for arg in node.args.args:
+                names.add(arg.arg)
+        elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                names |= _binding_names(target)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            names |= _binding_names(node.target)
+        elif isinstance(node, ast.comprehension):
+            names |= _binding_names(node.target)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    names |= _binding_names(item.optional_vars)
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            names.add(node.name)
+        elif isinstance(node, ast.NamedExpr) and isinstance(
+            node.target, ast.Name
+        ):
+            names.add(node.target.id)
+        elif isinstance(node, ast.Global):
+            globals_.update(node.names)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name != "*":
+                    names.add(alias.asname or alias.name)
+    return names - globals_
+
+
+class _FunctionScanner:
+    """One function's effect + edge extraction pass."""
+
+    def __init__(
+        self,
+        graph: ModuleGraph,
+        module: ModuleInfo,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        owner: ClassInfo | None,
+    ) -> None:
+        self.graph = graph
+        self.module = module
+        self.fn = fn
+        self.owner = owner
+        self.effects: list[EffectOrigin] = []
+        self.callees: set[str] = set()
+        self.unresolved: list[str] = []
+        self._seen_origins: set[tuple[str, int, str]] = set()
+        self.locals = _bound_local_names(fn)
+        self.param_types: dict[str, list[ClassInfo]] = {}
+        for arg in (
+            list(fn.args.posonlyargs)
+            + list(fn.args.args)
+            + list(fn.args.kwonlyargs)
+        ):
+            classes = self._classes_for_names(
+                annotation_names(arg.annotation), self.module
+            )
+            if classes:
+                self.param_types[arg.arg] = classes
+        self.var_types: dict[str, list[ClassInfo]] = {}
+        self.set_vars: set[str] = set()
+        for arg in list(fn.args.args) + list(fn.args.kwonlyargs):
+            heads = [
+                name.split(".")[-1].split("[")[0]
+                for name in annotation_names(arg.annotation)
+            ]
+            if any(head in _SET_ANNOTATIONS for head in heads):
+                self.set_vars.add(arg.arg)
+
+    # ---------------------------------------------------------- helpers
+
+    def _classes_for_names(
+        self, names: list[str], module: ModuleInfo
+    ) -> list[ClassInfo]:
+        classes: list[ClassInfo] = []
+        for name in names:
+            resolved = self.graph.resolve_in_module(module, name)
+            if resolved is None:
+                continue
+            target_module, local = resolved
+            info = target_module.classes.get(local)
+            if info is not None and info not in classes:
+                classes.append(info)
+        return classes
+
+    def _module_of(self, info: ClassInfo) -> ModuleInfo | None:
+        return self.graph.modules.get(info.qualname.rpartition(".")[0])
+
+    def _expanded(self, chain: str) -> str | None:
+        """Expand a dotted chain's head through the import table.
+
+        ``np.random.default_rng`` → ``numpy.random.default_rng`` when
+        ``np`` is bound by ``import numpy as np``.  Returns ``None``
+        when the head is a local name (not an import)."""
+        head, _, rest = chain.partition(".")
+        if head in self.locals:
+            return None
+        target = self.module.imports.get(head)
+        if target is None:
+            return None
+        return f"{target}.{rest}" if rest else target
+
+    def _origin(self, effect: str, node: ast.AST, detail: str) -> None:
+        key = (effect, getattr(node, "lineno", 0), detail)
+        if key in self._seen_origins:
+            return
+        self._seen_origins.add(key)
+        self.effects.append(
+            EffectOrigin(
+                effect=effect,
+                path=self.module.path,
+                line=getattr(node, "lineno", 0),
+                col=getattr(node, "col_offset", 0),
+                detail=detail,
+            )
+        )
+
+    def _add_edge_for(self, module: ModuleInfo, local: str) -> bool:
+        """Edge to a resolved (module, local) function or constructor."""
+        if local in module.functions:
+            self.callees.add(f"{module.name}.{local}")
+            return True
+        info = module.classes.get(local)
+        if info is not None:
+            if "__init__" in info.methods:
+                self.callees.add(f"{info.qualname}.__init__")
+            if "__post_init__" in info.methods:
+                self.callees.add(f"{info.qualname}.__post_init__")
+            return True
+        return False
+
+    # ------------------------------------------------------- type model
+
+    def types_of(self, expr: ast.expr, _depth: int = 0) -> list[ClassInfo]:
+        """Candidate classes an expression evaluates to (may be empty)."""
+        if _depth > 6:
+            return []
+        if isinstance(expr, ast.Name):
+            if expr.id == "self" and self.owner is not None:
+                return [self.owner]
+            if expr.id in self.param_types:
+                return self.param_types[expr.id]
+            if expr.id in self.var_types:
+                return self.var_types[expr.id]
+            if expr.id not in self.locals:
+                resolved = self.graph.resolve_in_module(self.module, expr.id)
+                if resolved is not None:
+                    module, local = resolved
+                    info = module.classes.get(local)
+                    # A bare class name is the class itself, not an
+                    # instance; method calls on it still dispatch there.
+                    if info is not None:
+                        return [info]
+            return []
+        if isinstance(expr, ast.Attribute):
+            bases = self.types_of(expr.value, _depth + 1)
+            found: list[ClassInfo] = []
+            for base in bases:
+                names = base.attr_types.get(expr.attr)
+                if not names:
+                    continue
+                module = self._module_of(base)
+                if module is None:
+                    continue
+                for info in self._classes_for_names(names, module):
+                    if info not in found:
+                        found.append(info)
+            return found
+        if isinstance(expr, ast.Call):
+            return self._return_types_of_call(expr, _depth)
+        return []
+
+    def _return_types_of_call(
+        self, call: ast.Call, _depth: int = 0
+    ) -> list[ClassInfo]:
+        """Types produced by a call: the class for constructors, the
+        resolved return annotation for functions and methods."""
+        func = call.func
+        if isinstance(func, ast.Name) and func.id not in self.locals:
+            resolved = self.graph.resolve_in_module(self.module, func.id)
+            if resolved is not None:
+                module, local = resolved
+                info = module.classes.get(local)
+                if info is not None:
+                    return [info]
+                fn = module.functions.get(local)
+                if fn is not None:
+                    return self._classes_for_names(
+                        annotation_names(fn.returns), module
+                    )
+        elif isinstance(func, ast.Attribute):
+            for owner, name in self._resolve_method_targets(func, _depth):
+                method = owner.methods.get(name)
+                if method is None:
+                    continue
+                module = self._module_of(owner)
+                if module is None:
+                    continue
+                return self._classes_for_names(
+                    annotation_names(method.returns), module
+                )
+            chain = dotted_name(func)
+            if chain is not None:
+                resolved_mod = self.graph.resolve_in_module(self.module, chain)
+                if resolved_mod is not None:
+                    module, local = resolved_mod
+                    info = module.classes.get(local)
+                    if info is not None:
+                        return [info]
+        return []
+
+    def _resolve_method_targets(
+        self, func: ast.Attribute, _depth: int = 0
+    ) -> list[tuple[ClassInfo, str]]:
+        """``(defining class, method name)`` candidates for ``recv.m``."""
+        targets: list[tuple[ClassInfo, str]] = []
+        for info in self.types_of(func.value, _depth + 1):
+            found = self.graph.method_of(info, func.attr)
+            if found is not None and found not in targets:
+                targets.append(found)
+        return targets
+
+    # ---------------------------------------------------- effect checks
+
+    def _args_all_constant(self, call: ast.Call) -> bool:
+        """True when no argument expression mentions a local name — the
+        seam test: a seed that flows in through a parameter (or ``self``)
+        exempts the construction."""
+        args = list(call.args) + [kw.value for kw in call.keywords]
+        for arg in args:
+            for node in ast.walk(arg):
+                if isinstance(node, ast.Name) and node.id in self.locals:
+                    return False
+        return True
+
+    def _check_call_effects(self, node: ast.Call) -> None:
+        func = node.func
+        chain = dotted_name(func)
+        expanded = self._expanded(chain) if chain else None
+        # --- builtin open -------------------------------------------------
+        if (
+            isinstance(func, ast.Name)
+            and func.id == "open"
+            and "open" not in self.locals
+            and "open" not in self.module.imports
+        ):
+            self._origin(FILE_IO, node, "open")
+            return
+        if expanded is not None:
+            parts = expanded.split(".")
+            head, last = parts[0], parts[-1]
+            # --- wall clock ----------------------------------------------
+            if head == "time" and last in WALL_CLOCK_FUNCTIONS:
+                self._origin(WALL_CLOCK, node, f"time.{last}")
+                return
+            if head == "datetime" and last in _DATETIME_NOW:
+                self._origin(WALL_CLOCK, node, f"datetime.{last}")
+                return
+            # --- ambient randomness --------------------------------------
+            if head == "random":
+                self._origin(RNG_CREATE, node, f"random.{last}")
+                return
+            if head == "numpy" and len(parts) >= 2 and parts[1] == "random":
+                if last in ("default_rng", "Generator"):
+                    if self._args_all_constant(node):
+                        suffix = "()" if not node.args and not node.keywords else "(<constant seed>)"
+                        self._origin(
+                            RNG_CREATE, node, f"np.random.{last}{suffix}"
+                        )
+                    return
+                if last not in ALLOWED_NP_RANDOM:
+                    self._origin(RNG_CREATE, node, f"np.random.{last}")
+                    return
+            # --- environment ---------------------------------------------
+            if expanded in ("os.getenv", "os.environ.get"):
+                self._origin(ENV_READ, node, "os.environ")
+                return
+            # --- file IO -------------------------------------------------
+            if head == "os" and last in _OS_FILE_FUNCTIONS:
+                self._origin(FILE_IO, node, f"os.{last}")
+                return
+            if head == "os" and len(parts) >= 2 and parts[1] == "path":
+                self._origin(FILE_IO, node, expanded)
+                return
+            if head == "shutil":
+                self._origin(FILE_IO, node, f"shutil.{last}")
+                return
+        # --- Path-style IO methods on any receiver -----------------------
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _PATH_IO_METHODS
+        ):
+            self._origin(FILE_IO, node, f".{func.attr}()")
+            return
+        # --- mutating method on module-level state -----------------------
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _MUTATING_METHODS
+            and isinstance(func.value, ast.Name)
+        ):
+            state = self._module_state_name(func.value.id)
+            if state is not None:
+                self._origin(
+                    GLOBAL_MUTATE, node, f"{state}.{func.attr}(...)"
+                )
+
+    def _module_state_name(self, name: str) -> str | None:
+        """``name`` rendered as module state when it is one, else ``None``.
+
+        Module state means: a non-callable binding at the top level of
+        this module (only obviously-mutable ones count for method-call
+        mutation), or an imported binding that resolves to a top-level
+        assignment in another analyzed module."""
+        if name in self.locals:
+            return None
+        if name in self.module.mutable_bindings:
+            return name
+        if name in self.module.functions or name in self.module.classes:
+            return None
+        target = self.module.imports.get(name)
+        if target is None:
+            return None
+        resolved = self.graph.resolve(target)
+        if resolved is None:
+            return None
+        module, local = resolved
+        if local in module.mutable_bindings:
+            return f"{module.name}.{local}"
+        return None
+
+    def _check_store_target(self, node: ast.AST) -> None:
+        """Flag stores through module-level state (``STATE[k] = v``,
+        ``STATE.attr = v``, ``SomeClass.attr = v``)."""
+        target = node
+        while isinstance(target, (ast.Attribute, ast.Subscript)):
+            target = target.value
+        if not isinstance(target, ast.Name) or target is node:
+            return
+        name = target.id
+        if name in self.locals:
+            return
+        if name in self.module.bindings and name not in self.module.functions:
+            info = self.module.classes.get(name)
+            label = f"{name} (class attribute)" if info else name
+            self._origin(GLOBAL_MUTATE, node, f"{label} store")
+            return
+        chained = self.graph.resolve_in_module(self.module, name)
+        if chained is not None:
+            module, local = chained
+            if local and local not in module.functions:
+                if local in module.classes:
+                    self._origin(
+                        GLOBAL_MUTATE,
+                        node,
+                        f"{module.name}.{local} (class attribute) store",
+                    )
+                elif local in module.bindings:
+                    self._origin(
+                        GLOBAL_MUTATE, node, f"{module.name}.{local} store"
+                    )
+
+    def _is_set_expr(self, expr: ast.expr, _depth: int = 0) -> bool:
+        if _depth > 6:
+            return False
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(expr, ast.Name):
+            return expr.id in self.set_vars
+        if isinstance(expr, ast.Call):
+            func = expr.func
+            if (
+                isinstance(func, ast.Name)
+                and func.id in ("set", "frozenset")
+                and func.id not in self.locals
+            ):
+                return True
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _SET_RETURNING_METHODS
+            ):
+                return True
+            return False
+        if isinstance(expr, ast.BinOp) and isinstance(
+            expr.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+        ):
+            return self._is_set_expr(expr.left, _depth + 1) or self._is_set_expr(
+                expr.right, _depth + 1
+            )
+        return False
+
+    def _check_iteration(self, iterable: ast.expr, node: ast.AST) -> None:
+        if self._is_set_expr(iterable):
+            self._origin(UNORDERED_ITER, node, "iter(set)")
+
+    # ------------------------------------------------------ edge checks
+
+    def _record_call_edges(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name in self.locals or name in _KNOWN_BUILTINS:
+                return
+            resolved = self.graph.resolve_in_module(self.module, name)
+            if resolved is not None:
+                module, local = resolved
+                if self._add_edge_for(module, local):
+                    return
+                return  # resolved to a module-level binding: no edge
+            if name in self.module.imports:
+                return  # external (numpy, stdlib) — effects handled above
+            self.unresolved.append(name)
+            return
+        if isinstance(func, ast.Attribute):
+            targets = self._resolve_method_targets(func)
+            if targets:
+                for owner, method in targets:
+                    self.callees.add(f"{owner.qualname}.{method}")
+                return
+            chain = dotted_name(func)
+            if chain is not None:
+                resolved = self.graph.resolve_in_module(self.module, chain)
+                if resolved is not None:
+                    module, local = resolved
+                    if local and self._add_edge_for(module, local):
+                        return
+                    return
+                if self._expanded(chain) is not None:
+                    return  # external module call
+                base = chain.split(".")[0]
+                if base in self.locals and base not in self.param_types:
+                    if base not in self.var_types:
+                        self.unresolved.append(chain)
+                    return
+                self.unresolved.append(chain)
+            return
+
+    def _record_property_edges(self, node: ast.Attribute) -> None:
+        for info in self.types_of(node.value, _depth=1):
+            found = self.graph.method_of(info, node.attr)
+            if found is not None:
+                owner, method = found
+                if method in owner.properties:
+                    self.callees.add(f"{owner.qualname}.{method}")
+
+    # ------------------------------------------------------------- scan
+
+    def scan(self) -> None:
+        """Run the pass over the function body."""
+        self._infer_local_types()
+        for decorator in self.fn.decorator_list:
+            expr = (
+                decorator.func
+                if isinstance(decorator, ast.Call)
+                else decorator
+            )
+            chain = dotted_name(expr)
+            if chain is None:
+                continue
+            resolved = self.graph.resolve_in_module(self.module, chain)
+            if resolved is not None:
+                module, local = resolved
+                self._add_edge_for(module, local)
+        for stmt in self.fn.body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Call):
+                    self._check_call_effects(node)
+                    self._record_call_edges(node)
+                    if isinstance(node.func, ast.Name) and node.func.id in (
+                        "list",
+                        "tuple",
+                    ):
+                        if len(node.args) == 1:
+                            self._check_iteration(node.args[0], node)
+                elif isinstance(node, ast.Attribute):
+                    chain = dotted_name(node)
+                    if chain is not None:
+                        expanded = self._expanded(chain)
+                        if expanded is not None and (
+                            expanded == "os.environ"
+                            or expanded.startswith("os.environ.")
+                        ):
+                            self._origin(ENV_READ, node, "os.environ")
+                    self._record_property_edges(node)
+                elif isinstance(node, ast.Global):
+                    self._origin(
+                        GLOBAL_MUTATE,
+                        node,
+                        "global " + ", ".join(node.names),
+                    )
+                elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                    targets = (
+                        node.targets
+                        if isinstance(node, ast.Assign)
+                        else [node.target]
+                    )
+                    for target in targets:
+                        self._check_store_target(target)
+                elif isinstance(node, (ast.For, ast.AsyncFor)):
+                    self._check_iteration(node.iter, node)
+                elif isinstance(node, ast.comprehension):
+                    self._check_iteration(node.iter, node.iter)
+
+    def _infer_local_types(self) -> None:
+        """Two passes of flow-insensitive local type inference: enough
+        for ``x = Ctor(...)`` / ``y = x`` chains without a fixed point."""
+        for _ in range(2):
+            for node in ast.walk(self.fn):
+                if not isinstance(node, ast.Assign):
+                    continue
+                if len(node.targets) != 1 or not isinstance(
+                    node.targets[0], ast.Name
+                ):
+                    continue
+                name = node.targets[0].id
+                inferred = self.types_of(node.value)
+                if inferred:
+                    bucket = self.var_types.setdefault(name, [])
+                    for info in inferred:
+                        if info not in bucket:
+                            bucket.append(info)
+                if self._is_set_expr(node.value):
+                    self.set_vars.add(name)
+
+
+def build_function_index(graph: ModuleGraph) -> dict[str, FunctionUnit]:
+    """Scan every function and method in ``graph`` into a call graph."""
+    index: dict[str, FunctionUnit] = {}
+
+    def scan_one(
+        module: ModuleInfo,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        qualname: str,
+        owner: ClassInfo | None,
+    ) -> None:
+        unit = FunctionUnit(
+            qualname=qualname,
+            path=module.path,
+            line=fn.lineno,
+            is_stub=_is_stub(fn),
+        )
+        if not unit.is_stub:
+            scanner = _FunctionScanner(graph, module, fn, owner)
+            scanner.scan()
+            unit.direct_effects = scanner.effects
+            unit.callees = scanner.callees
+            unit.unresolved = scanner.unresolved
+        index[qualname] = unit
+
+    for module in graph.modules.values():
+        for name, fn in module.functions.items():
+            scan_one(module, fn, f"{module.name}.{name}", None)
+        for info in module.classes.values():
+            for method_name, method in info.methods.items():
+                scan_one(
+                    module, method, f"{info.qualname}.{method_name}", info
+                )
+    # Prune edges that point outside the index (e.g. methods matched on
+    # classes whose defining module was not analyzed).
+    for unit in index.values():
+        unit.callees = {c for c in unit.callees if c in index}
+    return index

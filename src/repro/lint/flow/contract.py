@@ -1,0 +1,243 @@
+"""The seam contract: root specs, the checker, and REPRO1xx violations.
+
+A :class:`ContractSpec` names a set of *roots* — the functions whose
+transitive closure must be effect-free modulo declared seams — and the
+effects it tolerates outright.  The shipped
+:data:`DEFAULT_CONTRACTS` encode the parallel engine's determinism
+guarantee (PR 4): everything reachable from
+:func:`repro.parallel.executor.run_windows` / ``execute_shard`` (the
+per-shard worker task), from :meth:`repro.core.tmerge.TMerge.run`, and
+from the fault-injector seams must stay a pure function of
+``(seed, window index)``.
+
+Violations carry the full call chain from the root to the effectful
+primitive, rendered the way a reader would retrace it::
+
+    parallel.executor.run_windows → parallel.executor.execute_shard
+      → parallel.executor._run_window_task → telemetry.profiling.profiled
+      → time.perf_counter
+
+Known-accepted effects (the Profiler's wall clock, the checkpoint
+store's opt-in disk mirror) are suppressed through the committed
+baseline file — see :mod:`repro.lint.flow.baseline`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lint.flow.analysis import FlowAnalysis
+from repro.lint.flow.effects import DIAGNOSTICS, EffectOrigin
+
+
+@dataclass(frozen=True)
+class ContractSpec:
+    """One reachability contract.
+
+    Attributes:
+        name: short identifier shown in diagnostics (``parallel-engine``).
+        roots: fully qualified root functions; every function reachable
+            from any of them is checked.
+        allowed_effects: effects this contract tolerates without a
+            baseline entry (normally empty — prefer baselining with a
+            rationale over allowing a whole effect class).
+        description: one line of intent for reports.
+    """
+
+    name: str
+    roots: tuple[str, ...]
+    allowed_effects: frozenset[str] = frozenset()
+    description: str = ""
+
+
+#: The shipped contracts guarding the parallel engine's determinism
+#: guarantee.  Roots name concrete implementations (``TMerge.run``)
+#: rather than protocols, because the analysis does not resolve dynamic
+#: dispatch (DESIGN.md §11).
+DEFAULT_CONTRACTS: tuple[ContractSpec, ...] = (
+    ContractSpec(
+        name="parallel-engine",
+        roots=(
+            "repro.parallel.executor.run_windows",
+            "repro.parallel.executor.execute_shard",
+        ),
+        description=(
+            "window results are a pure function of (seed, window index) "
+            "for any worker count and backend"
+        ),
+    ),
+    ContractSpec(
+        name="tmerge-run",
+        roots=("repro.core.tmerge.TMerge.run",),
+        description=(
+            "the merger dispatched through the Merger protocol inside "
+            "worker tasks (the analysis cannot see protocol dispatch, so "
+            "the implementation is rooted directly)"
+        ),
+    ),
+    ContractSpec(
+        name="fault-seams",
+        roots=(
+            "repro.faults.injectors.ReidCallFaultInjector.check",
+            "repro.faults.injectors.FeatureCorruptionInjector.corrupt",
+            "repro.faults.injectors.FrameDropInjector.apply",
+            "repro.faults.injectors.WindowCrashInjector.arm",
+            "repro.faults.injectors.ArmedCrash.tick",
+            "repro.faults.injectors.FaultyReidModel.extract",
+        ),
+        description=(
+            "fault schedules replay bit-identically from their injected "
+            "seam substreams"
+        ),
+    ),
+)
+
+
+def short_name(qualname: str) -> str:
+    """``qualname`` without the leading ``repro.`` package prefix."""
+    return qualname.removeprefix("repro.")
+
+
+@dataclass(frozen=True)
+class FlowViolation:
+    """One contract violation: an effect reachable from a root.
+
+    Attributes:
+        rule_id: the effect's ``REPRO1xx`` diagnostic code.
+        contract: name of the violated :class:`ContractSpec`.
+        root: the root the effect is reachable from (shortest chain
+            among the contract's roots).
+        chain: the call chain from ``root`` to the function containing
+            the effect, as fully qualified names.
+        origin: the concrete effect origin (file, line, primitive).
+    """
+
+    rule_id: str
+    contract: str
+    root: str
+    chain: tuple[str, ...]
+    origin: EffectOrigin
+
+    @property
+    def key(self) -> str:
+        """Stable identity used by the baseline file.
+
+        Deliberately excludes line numbers so unrelated edits do not
+        invalidate suppressions: the root, the function containing the
+        effect, and the effectful primitive identify the finding.
+        """
+        return (
+            f"{self.rule_id} {self.root} -> {self.chain[-1]} "
+            f"[{self.origin.detail}]"
+        )
+
+    def render_chain(self) -> str:
+        """The call chain as a single readable arrow line."""
+        links = [short_name(link) for link in self.chain]
+        links.append(self.origin.detail)
+        return " → ".join(links)
+
+    def render(self) -> str:
+        """Multi-line diagnostic text."""
+        diag = DIAGNOSTICS[self.origin.effect]
+        header = (
+            f"{self.origin.path}:{self.origin.line}:{self.origin.col}: "
+            f"{self.rule_id} {self.origin.effect} reachable from "
+            f"`{short_name(self.root)}` (contract: {self.contract})"
+        )
+        return f"{header}\n    {self.render_chain()}\n    ^ {diag.title}"
+
+    def to_dict(self) -> dict:
+        """JSON shape for ``--format json`` reports."""
+        return {
+            "key": self.key,
+            "rule_id": self.rule_id,
+            "effect": self.origin.effect,
+            "contract": self.contract,
+            "root": self.root,
+            "chain": list(self.chain),
+            "path": self.origin.path,
+            "line": self.origin.line,
+            "col": self.origin.col,
+            "detail": self.origin.detail,
+        }
+
+
+@dataclass
+class ContractReport:
+    """Checker output for one analysis run.
+
+    Attributes:
+        violations: every violation, sorted by (path, line, rule, root).
+        missing_roots: contract roots absent from the analyzed code —
+            almost always a refactor that renamed a seam; surfaced so
+            the contract file gets updated instead of silently checking
+            nothing.
+    """
+
+    violations: list[FlowViolation] = field(default_factory=list)
+    missing_roots: list[tuple[str, str]] = field(default_factory=list)
+
+
+def check_contracts(
+    analysis: FlowAnalysis,
+    contracts: tuple[ContractSpec, ...] = DEFAULT_CONTRACTS,
+) -> ContractReport:
+    """Check every contract against ``analysis``.
+
+    Within one contract each offending effect origin is attributed to
+    the root with the shortest call chain (ties broken by root name), so
+    a single smuggled ``time.time()`` yields one violation per contract,
+    not one per root.
+    """
+    report = ContractReport()
+    for contract in contracts:
+        present_roots = [
+            root for root in contract.roots if root in analysis.functions
+        ]
+        for root in contract.roots:
+            if root not in analysis.functions:
+                report.missing_roots.append((contract.name, root))
+        if not present_roots:
+            continue
+        reachable: dict[str, set[str]] = {
+            root: analysis.reachable_from(root) for root in present_roots
+        }
+        covered = set().union(*reachable.values())
+        for function in sorted(covered):
+            unit = analysis.functions[function]
+            for origin in unit.direct_effects:
+                if origin.effect in contract.allowed_effects:
+                    continue
+                best: tuple[int, str, list[str]] | None = None
+                for root in sorted(present_roots):
+                    if function not in reachable[root]:
+                        continue
+                    chain = analysis.shortest_chain(root, function)
+                    if chain is None:
+                        continue
+                    candidate = (len(chain), root, chain)
+                    if best is None or candidate[:2] < best[:2]:
+                        best = candidate
+                if best is None:
+                    continue
+                _, root, chain = best
+                report.violations.append(
+                    FlowViolation(
+                        rule_id=DIAGNOSTICS[origin.effect].rule_id,
+                        contract=contract.name,
+                        root=root,
+                        chain=tuple(chain),
+                        origin=origin,
+                    )
+                )
+    report.violations.sort(
+        key=lambda v: (
+            v.origin.path,
+            v.origin.line,
+            v.rule_id,
+            v.contract,
+            v.root,
+        )
+    )
+    return report

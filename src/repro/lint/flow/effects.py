@@ -1,0 +1,174 @@
+"""The effect lattice of the whole-program determinism analysis.
+
+An *effect* is one way a function can break the parallel engine's seam
+contract — the guarantee that a window's result is a pure function of
+``(seed, window index)``.  Effects form a flat powerset lattice: a
+function's inferred effect set is the union of its own *direct* effects
+and (transitively) those of every callee the call-graph can resolve.
+The fixed point over that lattice is computed by
+:func:`repro.lint.flow.analysis.propagate`.
+
+Each effect maps to one stable ``REPRO1xx`` diagnostic code, the
+whole-program counterpart of the per-file ``REPRO0xx`` rules:
+where REPRO001 flags an ambient RNG *at the line that draws*, REPRO102
+flags a contract root that can *reach* an RNG construction through any
+number of calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+#: Reading the machine's wall clock (``time.time`` and friends).
+WALL_CLOCK = "WALL_CLOCK"
+#: Constructing a Generator / drawing ambient randomness rather than
+#: receiving an injected stream.
+RNG_CREATE = "RNG_CREATE"
+#: Rebinding or mutating module-level state.
+GLOBAL_MUTATE = "GLOBAL_MUTATE"
+#: Reading process environment variables.
+ENV_READ = "ENV_READ"
+#: Touching the filesystem.
+FILE_IO = "FILE_IO"
+#: Iterating a set, whose order depends on ``PYTHONHASHSEED`` across
+#: worker processes.
+UNORDERED_ITER = "UNORDERED_ITER"
+
+#: Every effect, in diagnostic-code order.
+ALL_EFFECTS = (
+    WALL_CLOCK,
+    RNG_CREATE,
+    GLOBAL_MUTATE,
+    ENV_READ,
+    FILE_IO,
+    UNORDERED_ITER,
+)
+
+
+@dataclass(frozen=True)
+class FlowDiagnostic:
+    """The self-describing metadata of one ``REPRO1xx`` diagnostic.
+
+    Attributes:
+        rule_id: stable identifier (``REPRO101`` …).
+        effect: the effect this diagnostic reports.
+        title: one-line summary shown by ``--list-rules``.
+        rationale: why the effect breaks the seam contract, and which
+            declared seam to use instead.
+    """
+
+    rule_id: str
+    effect: str
+    title: str
+    rationale: str
+
+
+#: Diagnostic registry, keyed by effect name.
+DIAGNOSTICS: dict[str, FlowDiagnostic] = {
+    diag.effect: diag
+    for diag in (
+        FlowDiagnostic(
+            rule_id="REPRO101",
+            effect=WALL_CLOCK,
+            title="no wall-clock reads reachable from a seam root",
+            rationale=(
+                "A `time.time()`/`perf_counter()` anywhere below a "
+                "parallel-engine root makes window results depend on the "
+                "machine, not on (seed, window index).  Charge the "
+                "injected `CostModel` clock instead (REPRO002 is the "
+                "per-file half of this check)."
+            ),
+        ),
+        FlowDiagnostic(
+            rule_id="REPRO102",
+            effect=RNG_CREATE,
+            title="no ambient RNG construction reachable from a seam root",
+            rationale=(
+                "Constructing `default_rng()` without an injected seed "
+                "(or drawing from numpy's global RNG) below a root "
+                "desynchronizes workers; accept a `np.random.Generator` "
+                "or a `SeedSequence` substream parameter instead "
+                "(REPRO001 is the per-file half of this check)."
+            ),
+        ),
+        FlowDiagnostic(
+            rule_id="REPRO103",
+            effect=GLOBAL_MUTATE,
+            title="no module-state mutation reachable from a seam root",
+            rationale=(
+                "Writes to module-level state below a root are shared "
+                "between windows in thread pools and silently dropped in "
+                "process pools — either way results stop being a pure "
+                "function of (seed, window index).  Keep per-window "
+                "state on window-local objects."
+            ),
+        ),
+        FlowDiagnostic(
+            rule_id="REPRO104",
+            effect=ENV_READ,
+            title="no environment reads reachable from a seam root",
+            rationale=(
+                "`os.environ` below a root lets deployment configuration "
+                "change window results; read configuration once in the "
+                "run owner and inject it through constructors."
+            ),
+        ),
+        FlowDiagnostic(
+            rule_id="REPRO105",
+            effect=FILE_IO,
+            title="no filesystem access reachable from a seam root",
+            rationale=(
+                "File reads below a root couple results to on-disk state; "
+                "file writes from workers race each other.  Load inputs in "
+                "the run owner; durable outputs belong to the driver."
+            ),
+        ),
+        FlowDiagnostic(
+            rule_id="REPRO106",
+            effect=UNORDERED_ITER,
+            title="no set-order-dependent iteration reachable from a seam root",
+            rationale=(
+                "Set iteration order depends on PYTHONHASHSEED, which "
+                "differs between pool workers; iterating a set below a "
+                "root can leak that order into returned values.  Sort "
+                "before iterating (`sorted(the_set)`)."
+            ),
+        ),
+    )
+}
+
+#: Diagnostic registry keyed by rule id (``REPRO101`` → diagnostic).
+DIAGNOSTICS_BY_ID: dict[str, FlowDiagnostic] = {
+    diag.rule_id: diag for diag in DIAGNOSTICS.values()
+}
+
+
+@dataclass(frozen=True)
+class EffectOrigin:
+    """One concrete source location where a direct effect arises.
+
+    Attributes:
+        effect: the effect class (one of :data:`ALL_EFFECTS`).
+        path: display path of the file containing the effectful code.
+        line: 1-based line of the effectful expression.
+        col: 0-based column.
+        detail: the primitive that causes the effect, rendered the way a
+            reader would write it (``time.perf_counter``, ``os.environ``,
+            ``iter(set)``, ``open``), shown as the final link of the
+            reported call chain.
+    """
+
+    effect: str
+    path: str
+    line: int
+    col: int
+    detail: str
+
+
+def effect_union(sets: Iterable[frozenset[str]]) -> frozenset[str]:
+    """The join (set union) of several effect sets."""
+    out: frozenset[str] = frozenset()
+    for one in sets:
+        out |= one
+    return out

@@ -1,0 +1,418 @@
+"""Module and import graph for the whole-program analysis.
+
+Parses every Python file under the analyzed paths into a
+:class:`ModuleInfo`: the module's dotted name (derived lexically from its
+path, exactly like :func:`repro.lint.base.context_for_path`), its import
+table (local name → fully qualified target), its module-level functions,
+its classes (methods, bases, attribute types) and its module-level
+bindings.  The :class:`ModuleGraph` then resolves dotted names across
+modules, chasing ``__init__`` re-exports, so a call through
+``from repro.reid import CostModel`` lands on
+``repro.reid.cost.CostModel`` like the import system would.
+
+Everything here is conservative and purely lexical: a name the graph
+cannot resolve stays unresolved (the call-graph layer counts it and
+infers nothing for it) rather than guessed.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.lint.base import context_for_path
+from repro.lint.engine import display_path, iter_python_files
+
+
+@dataclass
+class ClassInfo:
+    """One class definition as the analysis sees it.
+
+    Attributes:
+        qualname: fully qualified name (``repro.core.tmerge.TMerge``).
+        bases: base-class expressions as dotted strings (unresolved).
+        methods: method name → the method's ``ast`` node.
+        properties: names of ``@property``-decorated methods.
+        attr_types: instance attribute name → candidate type names as
+            written (annotations from the class body and ``self.x``
+            assignments in ``__init__``); resolved lazily by the graph.
+    """
+
+    qualname: str
+    bases: list[str] = field(default_factory=list)
+    methods: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = field(
+        default_factory=dict
+    )
+    properties: set[str] = field(default_factory=set)
+    attr_types: dict[str, list[str]] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module.
+
+    Attributes:
+        name: dotted module name (``repro.parallel.executor``).
+        path: display path used in diagnostics.
+        tree: the parsed AST.
+        imports: local name → fully qualified target; module imports map
+            the binding (``np`` → ``numpy``), from-imports map the name
+            (``TrackPair`` → ``repro.core.pairs.TrackPair``).
+        functions: module-level function name → node.
+        classes: class name → :class:`ClassInfo`.
+        bindings: every name bound at module level (imports, defs,
+            assignments).
+        mutable_bindings: module-level names bound to an obviously
+            mutable value (list/dict/set displays or constructor calls)
+            — the state REPRO103 guards.
+    """
+
+    name: str
+    path: str
+    tree: ast.Module
+    imports: dict[str, str] = field(default_factory=dict)
+    functions: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = field(
+        default_factory=dict
+    )
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    bindings: set[str] = field(default_factory=set)
+    mutable_bindings: set[str] = field(default_factory=set)
+
+    @property
+    def package(self) -> str:
+        """The module's parent package (``repro.parallel``)."""
+        return self.name.rpartition(".")[0]
+
+
+def module_name_for_path(path: str) -> str | None:
+    """Dotted module name for a ``repro``-rooted path, else ``None``.
+
+    ``src/repro/core/tmerge.py`` → ``repro.core.tmerge``;
+    ``__init__.py`` modules name their package.
+    """
+    ctx = context_for_path(path)
+    if not ctx.is_library:
+        return None
+    parts = list(ctx.module_parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a pure Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def annotation_names(node: ast.AST | None) -> list[str]:
+    """Candidate type names written in an annotation expression.
+
+    Handles ``X``, ``a.b.X``, ``X | Y`` unions, ``Optional[X]`` /
+    ``Union[X, Y]`` / ``list[X]``-style subscripts (the head *and* the
+    arguments are offered — the resolver keeps whichever resolve to
+    classes), and string annotations.  Unknown shapes yield nothing.
+    """
+    if node is None:
+        return []
+    if isinstance(node, ast.Constant):
+        if isinstance(node.value, str):
+            try:
+                parsed = ast.parse(node.value, mode="eval")
+            except SyntaxError:
+                return []
+            return annotation_names(parsed.body)
+        return []
+    if isinstance(node, (ast.Name, ast.Attribute)):
+        name = dotted_name(node)
+        return [name] if name else []
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        return annotation_names(node.left) + annotation_names(node.right)
+    if isinstance(node, ast.Subscript):
+        names = annotation_names(node.value)
+        inner = node.slice
+        elements = (
+            list(inner.elts) if isinstance(inner, ast.Tuple) else [inner]
+        )
+        for element in elements:
+            names.extend(annotation_names(element))
+        return names
+    return []
+
+
+_MUTABLE_VALUE_CALLS = frozenset({"list", "dict", "set", "OrderedDict"})
+
+
+def _is_mutable_value(node: ast.AST) -> bool:
+    """Whether a module-level assignment value is an obviously mutable
+    container (the state whose mutation REPRO103 reports)."""
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        return name in _MUTABLE_VALUE_CALLS
+    return False
+
+
+def _record_imports(module: ModuleInfo) -> None:
+    """Populate the import table from every import statement in the
+    module (function-local imports included — a harmless
+    over-approximation that lets `import time` inside a helper resolve)."""
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                module.imports[bound] = target
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is None and node.level == 0:
+                continue
+            if node.level > 0:
+                # Relative import: resolve against this module's package.
+                base_parts = module.name.split(".")
+                # level 1 = current package; each extra level pops one.
+                if module.path.endswith("__init__.py"):
+                    base_parts = base_parts[: len(base_parts) - (node.level - 1)]
+                else:
+                    base_parts = base_parts[: len(base_parts) - node.level]
+                base = ".".join(base_parts)
+                target_module = (
+                    f"{base}.{node.module}" if node.module else base
+                )
+            else:
+                target_module = node.module
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                module.imports[bound] = f"{target_module}.{alias.name}"
+
+
+def _attr_types_from_init(
+    info: ClassInfo, init: ast.FunctionDef | ast.AsyncFunctionDef
+) -> None:
+    """Record ``self.x = ...`` attribute types visible in ``__init__``.
+
+    Two shapes are understood: ``self.x = ClassName(...)`` (the attribute
+    is that class) and ``self.x = param`` (the attribute carries the
+    parameter's annotation).  Anything else leaves the attribute untyped.
+    """
+    params = {
+        arg.arg: arg.annotation
+        for arg in (
+            list(init.args.posonlyargs)
+            + list(init.args.args)
+            + list(init.args.kwonlyargs)
+        )
+    }
+    for node in ast.walk(init):
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = list(node.targets), node.value
+        elif isinstance(node, ast.AnnAssign):
+            targets, value = [node.target], node.value
+        for target in targets:
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                continue
+            names: list[str] = []
+            if isinstance(node, ast.AnnAssign):
+                names.extend(annotation_names(node.annotation))
+            if isinstance(value, ast.Call):
+                called = dotted_name(value.func)
+                if called:
+                    names.append(called)
+            elif isinstance(value, ast.Name) and value.id in params:
+                names.extend(annotation_names(params[value.id]))
+            if names:
+                bucket = info.attr_types.setdefault(target.attr, [])
+                for name in names:
+                    if name not in bucket:
+                        bucket.append(name)
+
+
+def _is_property(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    for decorator in node.decorator_list:
+        name = dotted_name(decorator)
+        if name in ("property", "functools.cached_property", "cached_property"):
+            return True
+    return False
+
+
+def parse_module(path: Path, shown: str) -> ModuleInfo | None:
+    """Parse one file into a :class:`ModuleInfo` (``None`` outside the
+    ``repro`` package or on syntax errors — the per-file linter already
+    reports those)."""
+    name = module_name_for_path(shown)
+    if name is None:
+        return None
+    try:
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=shown)
+    except (SyntaxError, UnicodeDecodeError):
+        return None
+    module = ModuleInfo(name=name, path=shown, tree=tree)
+    _record_imports(module)
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            module.functions[stmt.name] = stmt
+            module.bindings.add(stmt.name)
+        elif isinstance(stmt, ast.ClassDef):
+            info = ClassInfo(qualname=f"{name}.{stmt.name}")
+            for base in stmt.bases:
+                base_name = dotted_name(base)
+                if base_name:
+                    info.bases.append(base_name)
+            for member in stmt.body:
+                if isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    info.methods[member.name] = member
+                    if _is_property(member):
+                        info.properties.add(member.name)
+                elif isinstance(member, ast.AnnAssign) and isinstance(
+                    member.target, ast.Name
+                ):
+                    info.attr_types[member.target.id] = annotation_names(
+                        member.annotation
+                    )
+            init = info.methods.get("__init__")
+            if init is not None:
+                _attr_types_from_init(info, init)
+            module.classes[stmt.name] = info
+            module.bindings.add(stmt.name)
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                for node in ast.walk(target):
+                    if isinstance(node, ast.Name):
+                        module.bindings.add(node.id)
+                        if _is_mutable_value(stmt.value):
+                            module.mutable_bindings.add(node.id)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            module.bindings.add(stmt.target.id)
+            if stmt.value is not None and _is_mutable_value(stmt.value):
+                module.mutable_bindings.add(stmt.target.id)
+    module.bindings.update(module.imports)
+    return module
+
+
+class ModuleGraph:
+    """Every parsed module, with cross-module name resolution.
+
+    The resolver chases re-exports: resolving ``repro.reid.CostModel``
+    finds ``repro.reid``'s ``from repro.reid.cost import CostModel`` and
+    lands on the defining module — mirroring runtime import semantics
+    without executing anything.
+    """
+
+    def __init__(self, modules: Iterable[ModuleInfo]) -> None:
+        self.modules: dict[str, ModuleInfo] = {
+            module.name: module for module in modules
+        }
+
+    @classmethod
+    def build(cls, paths: Iterable[str | Path]) -> "ModuleGraph":
+        """Parse every ``repro`` module under ``paths``."""
+        modules = []
+        for path in iter_python_files(paths):
+            module = parse_module(Path(path), display_path(Path(path)))
+            if module is not None:
+                modules.append(module)
+        return cls(modules)
+
+    def resolve(
+        self, qualified: str, _depth: int = 0
+    ) -> tuple[ModuleInfo, str] | None:
+        """Resolve a fully qualified name to ``(defining module, local name)``.
+
+        Returns ``None`` for names outside the analyzed modules (numpy,
+        the stdlib, …) or names that simply do not exist.  Chases up to
+        eight levels of ``__init__`` re-export indirection.
+        """
+        if _depth > 8:
+            return None
+        module_name, _, local = qualified.rpartition(".")
+        if not module_name:
+            return None
+        module = self.modules.get(module_name)
+        if module is None:
+            # The "module" part may itself be a re-exported name
+            # (repro.reid.CostModel.state_dict-style chains are handled
+            # by the caller; here we only accept module.local shapes).
+            return None
+        if local in module.functions or local in module.classes:
+            return module, local
+        target = module.imports.get(local)
+        if target is not None:
+            return self.resolve(target, _depth + 1)
+        if local in module.bindings:
+            return module, local
+        return None
+
+    def resolve_class(self, qualified: str) -> ClassInfo | None:
+        """Resolve a qualified name to a :class:`ClassInfo`, or ``None``."""
+        resolved = self.resolve(qualified)
+        if resolved is None:
+            return None
+        module, local = resolved
+        return module.classes.get(local)
+
+    def resolve_in_module(
+        self, module: ModuleInfo, name: str
+    ) -> tuple[ModuleInfo, str] | None:
+        """Resolve a dotted name as written inside ``module``.
+
+        ``name`` may be a bare local (``build_track_pairs``), an imported
+        name (``TrackPair``), or a dotted chain through an imported
+        module (``contracts.check_shard_cover``).
+        """
+        head, _, rest = name.partition(".")
+        if head in module.functions or head in module.classes:
+            base: str | None = f"{module.name}.{head}"
+        else:
+            base = module.imports.get(head)
+        if base is None:
+            return None
+        full = f"{base}.{rest}" if rest else base
+        resolved = self.resolve(full)
+        if resolved is not None:
+            return resolved
+        # ``full`` may itself be a module (``import repro.contracts``).
+        target = self.modules.get(full)
+        if target is not None:
+            return target, ""
+        return None
+
+    def method_of(
+        self, info: ClassInfo, method: str, _depth: int = 0
+    ) -> tuple[ClassInfo, str] | None:
+        """Find ``method`` on ``info`` or its resolvable base classes."""
+        if method in info.methods:
+            return info, method
+        if _depth > 8:
+            return None
+        module_name = info.qualname.rpartition(".")[0]
+        module = self.modules.get(module_name)
+        for base in info.bases:
+            base_info = None
+            if module is not None:
+                resolved = self.resolve_in_module(module, base)
+                if resolved is not None:
+                    base_module, local = resolved
+                    base_info = base_module.classes.get(local)
+            if base_info is not None:
+                found = self.method_of(base_info, method, _depth + 1)
+                if found is not None:
+                    return found
+        return None

@@ -107,7 +107,10 @@ class NoAmbientRandomnessRule(Rule):
                                 ctx,
                                 node,
                                 "stdlib `random` is banned in library code; "
-                                "accept a `np.random.Generator` instead",
+                                "accept an `rng: np.random.Generator` "
+                                "parameter seeded from the run's "
+                                "`SeedSequence` substream (REPRO102 traces "
+                                "leaks across calls)",
                             )
                         )
             elif isinstance(node, ast.ImportFrom):
@@ -117,7 +120,9 @@ class NoAmbientRandomnessRule(Rule):
                             ctx,
                             node,
                             "stdlib `random` is banned in library code; "
-                            "accept a `np.random.Generator` instead",
+                            "accept an `rng: np.random.Generator` parameter "
+                            "seeded from the run's `SeedSequence` substream "
+                            "(REPRO102 traces leaks across calls)",
                         )
                     )
                 elif node.module in ("numpy.random", "np.random"):
@@ -146,7 +151,10 @@ class NoAmbientRandomnessRule(Rule):
                             ctx,
                             node,
                             f"`{'.'.join(chain)}()` uses numpy's global RNG; "
-                            "draw from an injected Generator instead",
+                            "draw from an injected `rng: "
+                            "np.random.Generator` parameter seeded from the "
+                            "run's `SeedSequence` substream (REPRO102 traces "
+                            "leaks across calls)",
                         )
                     )
         return violations
@@ -198,8 +206,10 @@ class SimulatedCostOnlyRule(Rule):
                                 ctx,
                                 node,
                                 f"`from time import {alias.name}` on the "
-                                "simulated-cost path; charge the "
-                                "`scorer.cost` clock instead",
+                                "simulated-cost path; charge the injected "
+                                "`CostModel` clock (`scorer.cost`, read via "
+                                "`cost.seconds`/`cost.milliseconds`) instead "
+                                "(REPRO101 traces reads across calls)",
                             )
                         )
             elif isinstance(node, ast.Call):
@@ -215,8 +225,10 @@ class SimulatedCostOnlyRule(Rule):
                             ctx,
                             node,
                             f"`{'.'.join(chain)}()` reads the wall clock on "
-                            "the simulated-cost path; charge the "
-                            "`scorer.cost` clock instead",
+                            "the simulated-cost path; charge the injected "
+                            "`CostModel` clock (`scorer.cost`, read via "
+                            "`cost.seconds`/`cost.milliseconds`) instead "
+                            "(REPRO101 traces reads across calls)",
                         )
                     )
         return violations

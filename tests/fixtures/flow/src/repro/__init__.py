@@ -1,0 +1,1 @@
+"""Synthetic ``repro`` root for the flow-analysis golden fixtures."""

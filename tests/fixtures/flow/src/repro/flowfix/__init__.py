@@ -1,0 +1,5 @@
+"""Golden fixture package for the whole-program flow analysis.
+
+One module per effect class plus a clean module and seam-exempted
+cases; ``entry`` defines the contract roots the tests check against.
+"""

@@ -1,0 +1,13 @@
+"""Effect-free helpers: nothing here should ever be flagged."""
+
+import numpy as np
+
+
+def draw(rng: np.random.Generator) -> float:
+    """One uniform draw from the injected generator."""
+    return float(rng.random())
+
+
+def scale(x: float) -> float:
+    """Pure arithmetic."""
+    return 2.0 * x

@@ -1,0 +1,23 @@
+"""Contract roots for the fixture package."""
+
+import numpy as np
+
+from repro.flowfix import clean, envio, iteration, rng, state, wall
+
+
+def clean_entry(generator: np.random.Generator) -> float:
+    """Root whose closure is effect-free (seam-exempt RNG included)."""
+    value = clean.scale(clean.draw(generator))
+    exempt = rng.seeded(7)
+    return value + float(exempt.random())
+
+
+def dirty_entry(seed: int) -> float:
+    """Root that reaches every effect class, one call deep."""
+    state.remember("t0", wall.stamp())
+    generator = rng.ambient()
+    _ = rng.constant_seeded()
+    _ = envio.env_flag()
+    _ = envio.load("features.bin")
+    _ = iteration.first_arm({1, 2, 3})
+    return float(generator.random())

@@ -1,0 +1,14 @@
+"""ENV_READ and FILE_IO fixtures."""
+
+import os
+
+
+def env_flag() -> str:
+    """Reads the process environment — flagged."""
+    return os.getenv("FLOWFIX_FLAG", "")
+
+
+def load(path: str) -> str:
+    """Opens a file — flagged."""
+    with open(path, encoding="utf-8") as handle:
+        return handle.read()

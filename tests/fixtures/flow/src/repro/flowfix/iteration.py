@@ -1,0 +1,13 @@
+"""UNORDERED_ITER fixture."""
+
+
+def first_arm(arms: set) -> int:
+    """Iterates a set in hash order — flagged."""
+    for arm in arms:
+        return arm
+    return -1
+
+
+def sorted_arms(arms: set) -> list:
+    """Sorting first makes the order deterministic — clean."""
+    return [arm for arm in sorted(arms)]

@@ -1,0 +1,18 @@
+"""RNG_CREATE fixture, with the seam-exempted counterpart."""
+
+import numpy as np
+
+
+def ambient() -> np.random.Generator:
+    """Unseeded construction — ambient randomness, flagged."""
+    return np.random.default_rng()
+
+
+def constant_seeded() -> np.random.Generator:
+    """Constant-seeded construction — still ambient, flagged."""
+    return np.random.default_rng(1234)
+
+
+def seeded(seed: int) -> np.random.Generator:
+    """Seam-exempt: the seed flows in through a parameter."""
+    return np.random.default_rng(seed)

@@ -1,0 +1,8 @@
+"""GLOBAL_MUTATE fixture."""
+
+_CACHE: dict = {}
+
+
+def remember(key: str, value: float) -> None:
+    """Writes module-level state — flagged."""
+    _CACHE[key] = value

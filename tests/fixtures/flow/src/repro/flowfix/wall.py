@@ -1,0 +1,8 @@
+"""WALL_CLOCK fixture."""
+
+import time
+
+
+def stamp() -> float:
+    """Reads the real clock — the analysis must flag this."""
+    return time.perf_counter()

@@ -1,0 +1,603 @@
+"""Whole-program flow analysis: fixtures, kernel properties, contracts.
+
+Covers the four layers of ``repro.lint.flow`` plus the CLI:
+
+* golden tests over the ``tests/fixtures/flow`` mini-package (one
+  module per effect class, seam-exempted cases, clean/dirty roots);
+* the :func:`repro.lint.flow.propagate` kernel — hand cases plus the
+  hypothesis property that adding a call edge never *removes* inferred
+  effects (monotonicity);
+* chain rendering and baseline round-trips;
+* the seeded regression: a ``time.time()`` planted three calls below
+  ``run_windows`` must surface with the full call chain;
+* the repo-wide guarantee that ``--flow src`` is clean modulo the
+  committed baseline.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import shutil
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lint.cli import main as lint_main
+from repro.lint.engine import SKIP_DIRS, iter_python_files
+from repro.lint.flow import (
+    ALL_EFFECTS,
+    DEFAULT_BASELINE_PATH,
+    DIAGNOSTICS,
+    Baseline,
+    ContractSpec,
+    EffectOrigin,
+    FlowAnalysis,
+    FlowViolation,
+    check_contracts,
+    propagate,
+    split_by_baseline,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURE_SRC = REPO_ROOT / "tests" / "fixtures" / "flow" / "src"
+
+DIRTY_ROOT = "repro.flowfix.entry.dirty_entry"
+CLEAN_ROOT = "repro.flowfix.entry.clean_entry"
+
+
+@pytest.fixture(scope="module")
+def fixture_analysis() -> FlowAnalysis:
+    """The fixture mini-package, analyzed once per test module."""
+    return FlowAnalysis.build([FIXTURE_SRC])
+
+
+class TestFixtureEffects:
+    """Golden direct-effect expectations, one module per effect class."""
+
+    @pytest.mark.parametrize(
+        ("qualname", "effect", "detail"),
+        [
+            ("repro.flowfix.wall.stamp", "WALL_CLOCK", "time.perf_counter"),
+            (
+                "repro.flowfix.rng.ambient",
+                "RNG_CREATE",
+                "np.random.default_rng()",
+            ),
+            (
+                "repro.flowfix.rng.constant_seeded",
+                "RNG_CREATE",
+                "np.random.default_rng(<constant seed>)",
+            ),
+            ("repro.flowfix.state.remember", "GLOBAL_MUTATE", "_CACHE store"),
+            ("repro.flowfix.envio.env_flag", "ENV_READ", "os.environ"),
+            ("repro.flowfix.envio.load", "FILE_IO", "open"),
+            (
+                "repro.flowfix.iteration.first_arm",
+                "UNORDERED_ITER",
+                "iter(set)",
+            ),
+        ],
+    )
+    def test_direct_effect(
+        self,
+        fixture_analysis: FlowAnalysis,
+        qualname: str,
+        effect: str,
+        detail: str,
+    ) -> None:
+        """Each fixture function carries exactly its designed effect."""
+        unit = fixture_analysis.functions[qualname]
+        assert [(o.effect, o.detail) for o in unit.direct_effects] == [
+            (effect, detail)
+        ]
+
+    @pytest.mark.parametrize(
+        "qualname",
+        [
+            "repro.flowfix.clean.draw",
+            "repro.flowfix.clean.scale",
+            "repro.flowfix.rng.seeded",
+            "repro.flowfix.iteration.sorted_arms",
+        ],
+    )
+    def test_clean_functions(
+        self, fixture_analysis: FlowAnalysis, qualname: str
+    ) -> None:
+        """Clean and seam-exempted fixtures infer no effects at all."""
+        assert fixture_analysis.functions[qualname].direct_effects == []
+        assert fixture_analysis.effects_of(qualname) == frozenset()
+
+    def test_dirty_root_transitively_collects_every_class(
+        self, fixture_analysis: FlowAnalysis
+    ) -> None:
+        """The dirty entry point inherits all six effect classes."""
+        assert fixture_analysis.effects_of(DIRTY_ROOT) == frozenset(
+            ALL_EFFECTS
+        )
+
+    def test_clean_root_stays_clean(
+        self, fixture_analysis: FlowAnalysis
+    ) -> None:
+        """The clean entry point (incl. seam-exempt RNG) infers nothing."""
+        assert fixture_analysis.effects_of(CLEAN_ROOT) == frozenset()
+
+
+class TestFixtureContracts:
+    """Contract checking over the fixture roots."""
+
+    def test_dirty_contract_reports_all_six_diagnostics(
+        self, fixture_analysis: FlowAnalysis
+    ) -> None:
+        """One REPRO1xx id per effect class, attributed to the root."""
+        report = check_contracts(
+            fixture_analysis,
+            (ContractSpec(name="fixture", roots=(DIRTY_ROOT,)),),
+        )
+        assert {v.rule_id for v in report.violations} == {
+            DIAGNOSTICS[effect].rule_id for effect in ALL_EFFECTS
+        }
+        assert all(v.root == DIRTY_ROOT for v in report.violations)
+        assert all(
+            v.chain[0] == DIRTY_ROOT and len(v.chain) == 2
+            for v in report.violations
+        )
+
+    def test_clean_contract_is_empty(
+        self, fixture_analysis: FlowAnalysis
+    ) -> None:
+        """A clean root yields neither violations nor missing roots."""
+        report = check_contracts(
+            fixture_analysis,
+            (ContractSpec(name="clean", roots=(CLEAN_ROOT,)),),
+        )
+        assert report.violations == []
+        assert report.missing_roots == []
+
+    def test_missing_root_is_surfaced(
+        self, fixture_analysis: FlowAnalysis
+    ) -> None:
+        """A renamed/missing root is reported, never silently skipped."""
+        report = check_contracts(
+            fixture_analysis,
+            (
+                ContractSpec(
+                    name="ghost", roots=("repro.flowfix.entry.gone",)
+                ),
+            ),
+        )
+        assert report.missing_roots == [
+            ("ghost", "repro.flowfix.entry.gone")
+        ]
+
+    def test_allowed_effects_are_tolerated(
+        self, fixture_analysis: FlowAnalysis
+    ) -> None:
+        """``allowed_effects`` drops that class but keeps the others."""
+        report = check_contracts(
+            fixture_analysis,
+            (
+                ContractSpec(
+                    name="fixture",
+                    roots=(DIRTY_ROOT,),
+                    allowed_effects=frozenset({"FILE_IO", "ENV_READ"}),
+                ),
+            ),
+        )
+        effects = {v.origin.effect for v in report.violations}
+        assert "FILE_IO" not in effects and "ENV_READ" not in effects
+        assert "WALL_CLOCK" in effects
+
+
+class TestPropagateKernel:
+    """Hand cases and the hypothesis monotonicity property."""
+
+    def test_linear_chain(self) -> None:
+        """Effects flow backwards through a → b → c."""
+        effects = propagate(
+            {"c": frozenset({"WALL_CLOCK"})},
+            {"a": ["b"], "b": ["c"]},
+        )
+        assert effects["a"] == frozenset({"WALL_CLOCK"})
+        assert effects["b"] == frozenset({"WALL_CLOCK"})
+
+    def test_cycle_terminates_and_unions(self) -> None:
+        """Mutual recursion reaches the fixed point with both effects."""
+        effects = propagate(
+            {
+                "a": frozenset({"FILE_IO"}),
+                "b": frozenset({"ENV_READ"}),
+            },
+            {"a": ["b"], "b": ["a"]},
+        )
+        both = frozenset({"FILE_IO", "ENV_READ"})
+        assert effects["a"] == both and effects["b"] == both
+
+    def test_edge_only_nodes_default_empty(self) -> None:
+        """Nodes appearing only as edge endpoints start from ⊥."""
+        effects = propagate({}, {"a": ["b"]})
+        assert effects == {"a": frozenset(), "b": frozenset()}
+
+    _nodes = st.integers(min_value=0, max_value=7).map(lambda i: f"n{i}")
+    _direct = st.dictionaries(
+        _nodes,
+        st.frozensets(st.sampled_from(sorted(ALL_EFFECTS)), max_size=3),
+        max_size=8,
+    )
+    _edges = st.dictionaries(
+        _nodes, st.lists(_nodes, max_size=4, unique=True), max_size=8
+    )
+
+    @settings(max_examples=150, deadline=None)
+    @given(direct=_direct, edges=_edges, extra=st.tuples(_nodes, _nodes))
+    def test_adding_an_edge_never_removes_effects(
+        self,
+        direct: dict[str, frozenset[str]],
+        edges: dict[str, list[str]],
+        extra: tuple[str, str],
+    ) -> None:
+        """Monotonicity: a grown graph infers a superset everywhere."""
+        before = propagate(direct, edges)
+        grown = {node: list(targets) for node, targets in edges.items()}
+        source, target = extra
+        grown.setdefault(source, []).append(target)
+        after = propagate(direct, grown)
+        for node, effects in before.items():
+            assert effects <= after[node]
+
+    @settings(max_examples=100, deadline=None)
+    @given(direct=_direct, edges=_edges)
+    def test_fixed_point_contains_direct_effects(
+        self,
+        direct: dict[str, frozenset[str]],
+        edges: dict[str, list[str]],
+    ) -> None:
+        """Soundness floor: no node ever loses its own direct effects."""
+        solved = propagate(direct, edges)
+        for node, effects in direct.items():
+            assert effects <= solved[node]
+
+
+class TestChainRendering:
+    """Violation rendering and stable baseline keys."""
+
+    def _violation(self) -> FlowViolation:
+        return FlowViolation(
+            rule_id="REPRO101",
+            contract="parallel-engine",
+            root="repro.parallel.executor.run_windows",
+            chain=(
+                "repro.parallel.executor.run_windows",
+                "repro.parallel.executor.execute_shard",
+                "repro.reid.scorer.ReidScorer.distance",
+            ),
+            origin=EffectOrigin(
+                effect="WALL_CLOCK",
+                path="src/repro/reid/scorer.py",
+                line=42,
+                col=8,
+                detail="time.perf_counter",
+            ),
+        )
+
+    def test_render_chain_reads_like_a_callstack(self) -> None:
+        """Arrow-joined short names ending at the effectful primitive."""
+        assert self._violation().render_chain() == (
+            "parallel.executor.run_windows → parallel.executor.execute_shard"
+            " → reid.scorer.ReidScorer.distance → time.perf_counter"
+        )
+
+    def test_render_includes_location_rule_and_chain(self) -> None:
+        """The multi-line diagnostic carries every navigation anchor."""
+        rendered = self._violation().render()
+        assert "src/repro/reid/scorer.py:42:8" in rendered
+        assert "REPRO101" in rendered
+        assert "parallel-engine" in rendered
+        assert "→ time.perf_counter" in rendered
+
+    def test_key_is_line_number_independent(self) -> None:
+        """Unrelated edits must not invalidate baseline suppressions."""
+        moved = FlowViolation(
+            rule_id="REPRO101",
+            contract="parallel-engine",
+            root=self._violation().root,
+            chain=self._violation().chain,
+            origin=EffectOrigin(
+                effect="WALL_CLOCK",
+                path="src/repro/reid/scorer.py",
+                line=999,
+                col=0,
+                detail="time.perf_counter",
+            ),
+        )
+        assert moved.key == self._violation().key
+
+
+class TestBaseline:
+    """Round-trips and partitioning against the suppression file."""
+
+    def test_round_trip_and_split(self, tmp_path: Path) -> None:
+        """Write → load → split: suppressed, new and stale all land."""
+        violation = TestChainRendering()._violation()
+        baseline = Baseline(
+            suppressions={
+                violation.key: "profiler wall clock is by design",
+                "REPRO105 gone -> gone [open]": "stale entry",
+            }
+        )
+        path = baseline.write(tmp_path / "baseline.json")
+        loaded = Baseline.load(path)
+        split = split_by_baseline([violation], loaded)
+        assert split.suppressed == [violation]
+        assert split.new == []
+        assert split.stale_keys == ["REPRO105 gone -> gone [open]"]
+
+    def test_missing_rationale_is_rejected(self, tmp_path: Path) -> None:
+        """An unexplained suppression is a bug, not a convenience."""
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            json.dumps({"schema": 1, "suppressions": [{"key": "K"}]})
+        )
+        with pytest.raises(ValueError, match="rationale"):
+            Baseline.load(path)
+
+    def test_schema_mismatch_is_rejected(self, tmp_path: Path) -> None:
+        """Future-format files fail loudly instead of silently passing."""
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"schema": 99, "suppressions": []}))
+        with pytest.raises(ValueError, match="schema"):
+            Baseline.load(path)
+
+
+PLANT_ANCHOR = "telemetry = Telemetry() if shard.with_telemetry else None"
+
+PLANTED_HELPERS = textwrap.dedent(
+    """
+
+    import time
+
+
+    def _planted_l1() -> float:
+        \"\"\"Planted level 1.\"\"\"
+        return _planted_l2()
+
+
+    def _planted_l2() -> float:
+        \"\"\"Planted level 2.\"\"\"
+        return _planted_l3()
+
+
+    def _planted_l3() -> float:
+        \"\"\"Planted level 3.\"\"\"
+        return time.time()
+    """
+)
+
+
+class TestPlantedWallClockRegression:
+    """The acceptance scenario: a smuggled ``time.time()`` three calls
+    below ``run_windows`` must surface with its full call chain."""
+
+    def test_planted_time_time_is_caught_with_full_chain(
+        self, tmp_path: Path
+    ) -> None:
+        """Copy ``src/repro``, plant the leak, analyze, assert chain."""
+        shutil.copytree(
+            REPO_ROOT / "src" / "repro", tmp_path / "src" / "repro"
+        )
+        executor = tmp_path / "src" / "repro" / "parallel" / "executor.py"
+        source = executor.read_text(encoding="utf-8")
+        assert PLANT_ANCHOR in source
+        patched = source.replace(
+            PLANT_ANCHOR, PLANT_ANCHOR + "\n    _planted_l1()", 1
+        )
+        executor.write_text(patched + PLANTED_HELPERS, encoding="utf-8")
+        ast.parse(executor.read_text(encoding="utf-8"))
+
+        analysis = FlowAnalysis.build([tmp_path / "src"])
+        report = check_contracts(analysis)
+        planted = [
+            v
+            for v in report.violations
+            if v.origin.detail == "time.time"
+            and v.contract == "parallel-engine"
+        ]
+        assert planted, "the planted wall-clock read was not detected"
+        violation = planted[0]
+        assert violation.rule_id == "REPRO101"
+        assert violation.chain[-3:] == (
+            "repro.parallel.executor._planted_l1",
+            "repro.parallel.executor._planted_l2",
+            "repro.parallel.executor._planted_l3",
+        )
+        assert "repro.parallel.executor._run_window_task" in violation.chain
+        chain_text = violation.render_chain()
+        assert chain_text.endswith(
+            "parallel.executor._planted_l1 → parallel.executor._planted_l2"
+            " → parallel.executor._planted_l3 → time.time"
+        )
+        # The leak is reachable from `run_windows` itself, with the full
+        # chain reconstructible from that root too.
+        run_windows = "repro.parallel.executor.run_windows"
+        leaf = "repro.parallel.executor._planted_l3"
+        assert leaf in analysis.reachable_from(run_windows)
+        chain = analysis.shortest_chain(run_windows, leaf)
+        assert chain is not None and chain[0] == run_windows
+        assert chain[-3:] == [
+            "repro.parallel.executor._planted_l1",
+            "repro.parallel.executor._planted_l2",
+            leaf,
+        ]
+        assert "WALL_CLOCK" in analysis.effects_of(run_windows)
+
+    def test_unpatched_tree_has_no_planted_violation(self) -> None:
+        """Control: the pristine tree never reports ``time.time``."""
+        analysis = FlowAnalysis.build([REPO_ROOT / "src"])
+        report = check_contracts(analysis)
+        assert not any(
+            v.origin.detail == "time.time" for v in report.violations
+        )
+
+
+class TestRepoIsClean:
+    """``--flow src`` must stay clean modulo the committed baseline."""
+
+    def test_src_has_no_new_violations(self) -> None:
+        """Every real violation is either fixed or baselined."""
+        analysis = FlowAnalysis.build([REPO_ROOT / "src"])
+        report = check_contracts(analysis)
+        baseline = Baseline.load(REPO_ROOT / DEFAULT_BASELINE_PATH)
+        split = split_by_baseline(report.violations, baseline)
+        assert split.new == [], "\n".join(v.render() for v in split.new)
+        assert split.stale_keys == []
+        assert report.missing_roots == []
+
+    def test_contract_roots_reach_real_code(self) -> None:
+        """The parallel-engine contract is not vacuously satisfied."""
+        analysis = FlowAnalysis.build([REPO_ROOT / "src"])
+        reachable = analysis.reachable_from(
+            "repro.parallel.executor.run_windows"
+        )
+        assert "repro.parallel.executor._run_window_task" in reachable
+        assert len(reachable) > 20
+
+
+class TestFlowCli:
+    """``python -m repro.lint --flow`` behaviour."""
+
+    def test_clean_fixture_root_exits_zero(
+        self, capsys: pytest.CaptureFixture
+    ) -> None:
+        """Analyzing the repo with its baseline from the repo root."""
+        code = lint_main(
+            ["--flow", "--baseline", str(REPO_ROOT / DEFAULT_BASELINE_PATH),
+             str(REPO_ROOT / "src")]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 new violation(s)" in out
+
+    def test_json_format_and_output_file(
+        self, tmp_path: Path, capsys: pytest.CaptureFixture
+    ) -> None:
+        """``--format json --output`` emits the same document twice."""
+        out_file = tmp_path / "flow.json"
+        code = lint_main(
+            [
+                "--flow",
+                "--no-baseline",
+                "--format",
+                "json",
+                "--output",
+                str(out_file),
+                str(FIXTURE_SRC),
+            ]
+        )
+        # The fixture package lacks the default contract roots, so the
+        # run is clean (exit 0) but reports them as missing.
+        assert code == 0
+        stdout_doc = json.loads(capsys.readouterr().out)
+        file_doc = json.loads(out_file.read_text())
+        assert stdout_doc == file_doc
+        assert stdout_doc["schema"] == 1
+        assert stdout_doc["stats"]["n_functions"] > 0
+        # The fixture package has no default-contract roots, so the
+        # missing roots are reported rather than silently ignored.
+        assert stdout_doc["missing_roots"]
+
+    def test_missing_baseline_path_is_a_usage_error(self) -> None:
+        """An explicitly named but absent baseline exits 2."""
+        code = lint_main(
+            ["--flow", "--baseline", "does-not-exist.json", "src"]
+        )
+        assert code == 2
+
+    def test_list_rules_includes_flow_diagnostics(
+        self, capsys: pytest.CaptureFixture
+    ) -> None:
+        """REPRO001–010 and REPRO101–106 share one registry listing."""
+        code = lint_main(["--list-rules"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for rule_id in ("REPRO001", "REPRO010", "REPRO101", "REPRO106"):
+            assert rule_id in out
+
+    def test_check_docs_accepts_design_md(
+        self, capsys: pytest.CaptureFixture, monkeypatch: pytest.MonkeyPatch
+    ) -> None:
+        """The committed DESIGN.md names every shipped rule id."""
+        monkeypatch.chdir(REPO_ROOT)
+        code = lint_main(["--list-rules", "--check-docs", "DESIGN.md"])
+        assert code == 0, capsys.readouterr().out
+
+    def test_check_docs_flags_drift(
+        self, tmp_path: Path, capsys: pytest.CaptureFixture
+    ) -> None:
+        """A doc missing a shipped id (or citing a ghost id) fails."""
+        doc = tmp_path / "doc.md"
+        doc.write_text("Only REPRO001 and the ghost REPRO999 here.")
+        code = lint_main(["--list-rules", "--check-docs", str(doc)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "REPRO101" in out  # reported missing
+        assert "REPRO999" in out  # reported unknown
+
+    def test_select_conflicts_with_flow(self) -> None:
+        """``--select`` only applies to per-file rules."""
+        with pytest.raises(SystemExit):
+            lint_main(["--flow", "--select", "REPRO001", "src"])
+
+    def test_module_invocation_runs_flow(self) -> None:
+        """End-to-end ``python -m repro.lint --flow`` from the repo."""
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.lint", "--flow", "src"],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+
+
+class TestIterPythonFilesSkips:
+    """The engine walk fix: directly-passed skip dirs stay skipped."""
+
+    def test_directly_passed_skip_dir_is_not_walked(
+        self, tmp_path: Path
+    ) -> None:
+        """Passing ``__pycache__``/hidden dirs directly yields nothing."""
+        for name in ("__pycache__", ".hidden", "fixtures"):
+            bad = tmp_path / name
+            bad.mkdir()
+            (bad / "mod.py").write_text("x = 1\n")
+            assert list(iter_python_files([bad])) == []
+
+    def test_directly_passed_file_inside_skip_dir_is_honoured(
+        self, tmp_path: Path
+    ) -> None:
+        """Naming a concrete ``*.py`` file is an explicit request."""
+        bad = tmp_path / "fixtures"
+        bad.mkdir()
+        target = bad / "mod.py"
+        target.write_text("x = 1\n")
+        assert list(iter_python_files([target])) == [target]
+
+    def test_overlapping_paths_dedupe_via_resolved_paths(
+        self, tmp_path: Path
+    ) -> None:
+        """The same file reached twice is yielded once."""
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "mod.py").write_text("x = 1\n")
+        found = list(iter_python_files([tmp_path, pkg, pkg / "mod.py"]))
+        assert len(found) == 1
+
+    def test_fixtures_is_a_skip_dir(self) -> None:
+        """Repo-wide lint walks must not descend into fixture trees."""
+        assert "fixtures" in SKIP_DIRS
+        walked = list(iter_python_files([REPO_ROOT / "tests"]))
+        assert not any("fixtures" in str(path) for path in walked)
