@@ -2,85 +2,109 @@
 """Scenario: streaming ingestion of a long (unbounded) video feed.
 
 The paper's windowing (§II) exists precisely so the method works on
-streams: half-overlapping windows are processed "in order of succession",
-each window pairing its new tracks against its own and the previous
-window's.  This example drives that loop explicitly, window by window,
-the way a live deployment would — tracking incrementally, merging
-incrementally, and reporting running statistics after every window.
+streams: half-overlapping windows are processed "in order of
+succession", each window pairing its new tracks against its own and the
+previous window's.  This example drives the real online service
+(``repro.streaming``): frames arrive as events with bounded arrival
+disorder, a watermark admits or sheds them, windows close incrementally
+and merge through the parallel engine's window-local regime, completed
+windows are evicted (bounded memory) — and halfway through we *kill*
+the service and resume it from its durable checkpoint, verifying the
+resumed emissions are bit-identical to an uninterrupted run.
 """
 
-from repro import (
-    NoisyDetector,
-    TMerge,
-    TracktorTracker,
-    UnionFind,
-    match_tracks_to_gt,
-    pathtrack_like,
-    polyonymous_pairs,
-    simulate_world,
+from repro import TMerge, TracktorTracker, UnionFind, simulate_world
+from repro.resilience import CheckpointStore
+from repro.streaming import (
+    BackpressurePolicy,
+    StreamingIngestionService,
+    SyntheticFeedSource,
 )
-from repro.core import WindowedTracks, build_track_pairs, partition_windows
-from repro.metrics.recall import window_recall
-from repro.reid import CostModel, ReidScorer, SimReIDModel
+from repro.synth.datasets import pathtrack_like
 
 
-def main() -> None:
+def build_service(store, *, window_length, policy):
+    """One service instance bound to ``store`` (rebuilt across 'crashes')."""
+    return StreamingIngestionService(
+        TracktorTracker(),
+        TMerge(k=0.05, tau_max=400, batch_size=10, seed=3),
+        window_length=window_length,
+        allowed_lateness=4,
+        max_open_windows=8,
+        policy=policy,
+        workers=1,
+        store=store,
+    )
+
+
+def main(n_frames: int = 1200, window_length: int = 400,
+         kill_after: int = 2) -> None:
+    """Run the feed twice: uninterrupted, then killed + resumed."""
     preset = pathtrack_like()
-    n_frames = 2400
-    window_length = 2000  # L >= 2 * L_max = 2000
-
     world = simulate_world(preset.config, n_frames=n_frames, seed=2)
-    detections = NoisyDetector().detect_video(world, seed=102)
-    # A deployment would track incrementally; functionally the windowed
-    # view below is identical, so we reuse one tracker pass.
-    tracks = TracktorTracker().run(detections)
-    assignment = match_tracks_to_gt(tracks, world)
-
-    windows = partition_windows(n_frames, window_length)
-    windowed = WindowedTracks.assign(tracks, windows)
-    merger = TMerge(k=0.05, tau_max=1500, batch_size=100, seed=3)
-    scorer = ReidScorer(SimReIDModel(world, seed=1), cost=CostModel())
-    dsu = UnionFind([t.track_id for t in tracks])
+    source = SyntheticFeedSource(world, disorder_ms=60.0, disorder_seed=5)
+    policy = BackpressurePolicy(mode="block", capacity=64)
 
     print(
-        f"streaming {n_frames} frames in {len(windows)} windows of "
-        f"L={window_length} (stride {window_length // 2})"
+        f"streaming {n_frames} frames as events "
+        f"(60 ms arrival jitter, watermark lateness 4 frames), "
+        f"windows of L={window_length}"
     )
-    total_found = 0
-    total_gt = 0
-    for c, window in enumerate(windows):
-        pairs = build_track_pairs(
-            windowed.tracks_of(c), windowed.previous_tracks_of(c)
-        )
-        if not pairs:
-            print(f"window {c}: no new track pairs")
-            continue
-        before = scorer.cost.seconds
-        result = merger.run(pairs, scorer)
-        gt = polyonymous_pairs(pairs, assignment)
-        confirmed = result.candidate_keys & gt  # human-inspection step
-        for a, b in confirmed:
-            dsu.union(a, b)
-        total_found += len(confirmed)
-        total_gt += len(gt)
-        rec = window_recall(result.candidate_keys, gt)
-        rec_text = f"{rec:.2f}" if rec is not None else "n/a"
+
+    # --- reference: one uninterrupted run -----------------------------
+    reference = build_service(
+        CheckpointStore(), window_length=window_length, policy=policy
+    ).run(source)
+    for emission in reference.emissions:
+        r = emission.result
         print(
-            f"window {c} [{window.start}:{window.end}]: "
-            f"{len(pairs)} pairs, {len(gt)} polyonymous, REC {rec_text}, "
-            f"+{scorer.cost.seconds - before:.1f}s sim"
+            f"window {emission.index} "
+            f"[{emission.window.start}:{emission.window.end}]: "
+            f"{emission.n_tracks} tracks, {r.n_pairs} pairs, "
+            f"{len(r.candidates)} candidates, "
+            f"lag {emission.lag_ms:.0f} ms sim"
         )
-
-    n_components = len(dsu.components())
+    counters = {k: v for k, v in sorted(reference.counters.items())}
     print(
-        f"\nrunning identity map: {len(tracks)} raw tracks -> "
-        f"{n_components} merged identities "
-        f"({total_found}/{total_gt} fragment pairs caught)"
+        f"peak open windows: {reference.peak_open_windows} (bound 8), "
+        f"counters: {counters}"
     )
+
+    # --- kill after a few windows, resume from the checkpoint ---------
+    store = CheckpointStore()
+    first = build_service(
+        store, window_length=window_length, policy=policy
+    ).run(source, stop_after_windows=kill_after)
     print(
-        f"total simulated merging cost: {scorer.cost.seconds:.1f}s "
-        f"for {n_frames} frames "
-        f"({n_frames / scorer.cost.seconds:.1f} FPS)"
+        f"\nkilled the service after {len(first.emissions)} windows "
+        f"(source offset {first.position}); restarting from checkpoint..."
+    )
+    resumed = build_service(
+        store, window_length=window_length, policy=policy
+    ).run(source)
+    stitched = first.fingerprints() + resumed.fingerprints()
+    identical = stitched == reference.fingerprints()
+    print(
+        f"resumed run emitted {len(resumed.emissions)} more windows; "
+        f"stitched emissions bit-identical to uninterrupted run: "
+        f"{identical}"
+    )
+    if not identical:
+        raise AssertionError("restart equivalence violated")
+
+    # --- the running identity map a consumer would maintain -----------
+    track_ids = sorted(
+        {tid for e in reference.emissions for pair in e.result.candidates
+         for tid in pair.key}
+    )
+    dsu = UnionFind(track_ids)
+    for emission in reference.emissions:
+        for pair in emission.result.candidates:
+            a, b = pair.key
+            dsu.union(a, b)
+    print(
+        f"\nrunning identity map: {len(track_ids)} tracks in merge "
+        f"candidates -> {len(dsu.components())} merged identities"
     )
 
 

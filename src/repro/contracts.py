@@ -342,3 +342,47 @@ def check_windows_partition(
             f"{where}: ownership tiling ends at {cursor}, leaving frames "
             f"up to {n_frames} unowned"
         )
+
+
+def check_open_window_bound(
+    n_open: int, bound: int, where: str = "streaming"
+) -> None:
+    """Resident open-window count respects the configured memory bound.
+
+    The streaming service's whole point is that memory is bounded by the
+    number of simultaneously open windows, never by feed length; this
+    trips the moment eviction falls behind.
+
+    Raises:
+        ContractViolation: when ``n_open`` exceeds ``bound``.
+    """
+    if not ENABLED:
+        return
+    if n_open > bound:
+        raise ContractViolation(
+            f"{where}: {n_open} windows resident, bound is {bound} — "
+            "either eviction fell behind the watermark, or a track "
+            "outlived bound*stride frames and its owner window cannot "
+            "close; size max_open_windows above the longest expected "
+            "track span divided by the window stride"
+        )
+
+
+def check_watermark_monotonic(
+    previous: int, current: int, where: str = "streaming"
+) -> None:
+    """The watermark never moves backwards.
+
+    Every window-close decision is justified by "no more frames at or
+    before the watermark will arrive"; a regression would re-admit
+    already-finalized frames and corrupt window contents.
+
+    Raises:
+        ContractViolation: when ``current`` is below ``previous``.
+    """
+    if not ENABLED:
+        return
+    if current < previous:
+        raise ContractViolation(
+            f"{where}: watermark regressed from {previous} to {current}"
+        )

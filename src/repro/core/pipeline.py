@@ -40,7 +40,7 @@ _PRIOR_MEAN_CLOSE = 1.0 / 3.0
 _PRIOR_MEAN_DEFAULT = 0.5
 
 
-def _spatial_fallback_result(
+def spatial_fallback_result(
     merger: "Merger", pairs: list[TrackPair], elapsed: float
 ) -> MergeResult:
     """Candidate set from spatial priors alone (the degradation floor).
@@ -143,7 +143,7 @@ def run_resilient_window(
     try:
         return retry_call(attempt, policy, cost)
     except REID_UNAVAILABLE:
-        return _spatial_fallback_result(
+        return spatial_fallback_result(
             merger, pairs, cost.seconds - window_start
         )
 

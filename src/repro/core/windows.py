@@ -91,6 +91,22 @@ def partition_windows(
     return windows
 
 
+def window_at(index: int, window_length: int) -> Window:
+    """The ``index``-th half-overlapping window, without a frame count.
+
+    Streaming ingestion opens windows lazily as the watermark advances
+    over an unbounded feed; this is the pure function behind
+    :func:`partition_windows` (same stride, same spans), so the window
+    list of any finite prefix matches the batch partition exactly.
+    """
+    if index < 0:
+        raise ValueError("index must be non-negative")
+    if window_length < 2:
+        raise ValueError("window_length must be >= 2")
+    stride = window_length // 2
+    return Window(index, index * stride, index * stride + window_length)
+
+
 @dataclass
 class WindowedTracks:
     """Tracks assigned to their owning windows.

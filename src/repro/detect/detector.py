@@ -41,6 +41,27 @@ class Detection:
         """True for false-positive detections with no source object."""
         return self.source_id is None
 
+    def to_dict(self) -> dict:
+        """Pure-JSON form (used by streaming checkpoints and feeds)."""
+        return {
+            "bbox": [self.bbox.x1, self.bbox.y1, self.bbox.x2, self.bbox.y2],
+            "confidence": self.confidence,
+            "source_id": self.source_id,
+            "visibility": self.visibility,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Detection":
+        """Rebuild a detection from :meth:`to_dict` output."""
+        x1, y1, x2, y2 = payload["bbox"]
+        source = payload["source_id"]
+        return cls(
+            bbox=BBox(float(x1), float(y1), float(x2), float(y2)),
+            confidence=float(payload["confidence"]),
+            source_id=None if source is None else int(source),
+            visibility=float(payload["visibility"]),
+        )
+
 
 @dataclass
 class DetectorConfig:

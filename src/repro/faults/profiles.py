@@ -132,6 +132,27 @@ class FaultProfile:
         crash = roots[_STREAM_CRASH].spawn(n_windows)
         return list(zip(call, corrupt, crash))
 
+    def window_seam_seed(
+        self, index: int
+    ) -> tuple[
+        np.random.SeedSequence,
+        np.random.SeedSequence,
+        np.random.SeedSequence,
+    ]:
+        """One window's ``(call, corrupt, crash)`` substreams, lazily.
+
+        Identical to ``window_seam_seeds(n)[index]`` for every ``n >
+        index`` (``SeedSequence.spawn`` children are addressable by
+        spawn key), but needs no window count up front — the streaming
+        service derives seeds window by window over an unbounded feed.
+        """
+        if index < 0:
+            raise ValueError("index must be non-negative")
+        return tuple(
+            np.random.SeedSequence(self.seed, spawn_key=(stream, index))
+            for stream in (_STREAM_CALL, _STREAM_CORRUPT, _STREAM_CRASH)
+        )
+
     def wrap_model(
         self,
         model,

@@ -280,8 +280,13 @@ class ParallelRun:
     plan: ShardPlan
 
 
-def _detached_merger(merger: Merger) -> Merger:
-    """A deep copy of ``merger`` with any injected telemetry removed."""
+def detached_merger(merger: Merger) -> Merger:
+    """A deep copy of ``merger`` with any injected telemetry removed.
+
+    Shared by :func:`run_windows` and the streaming service: merger
+    prototypes shipped to workers (or cloned per window) must not drag
+    a live telemetry object across the pool seam.
+    """
     parked = getattr(merger, "telemetry", None)
     has_attribute = hasattr(merger, "telemetry")
     if has_attribute:
@@ -294,7 +299,7 @@ def _detached_merger(merger: Merger) -> Merger:
     return clone
 
 
-def _empty_result(merger: Merger) -> MergeResult:
+def empty_merge_result(merger: Merger) -> MergeResult:
     """The synthesized result of a window with no candidate pairs."""
     return MergeResult(
         method=merger.name,
@@ -348,7 +353,7 @@ def run_windows(
     busy = [index for index, pairs in enumerate(window_pairs) if pairs]
     plan = ShardPlanner(n_workers).plan(busy)
     seeds = window_seeds(reid_seed, n_windows, fault_profile)
-    prototype = _detached_merger(merger)
+    prototype = detached_merger(merger)
     tasks = [
         ShardTask(
             shard_id=shard.shard_id,
@@ -381,7 +386,7 @@ def run_windows(
     for c in range(n_windows):
         outcome = by_index.get(c)
         if outcome is None:
-            window_results.append(_empty_result(merger))
+            window_results.append(empty_merge_result(merger))
             if telemetry is not None:
                 window_metrics.append({})
             continue

@@ -132,3 +132,25 @@ def window_seeds(
         WindowSeeds(model=model, call=call, corrupt=corrupt, crash=crash)
         for model, (call, corrupt, crash) in zip(model_children, seams)
     ]
+
+
+def single_window_seeds(
+    reid_seed: int,
+    index: int,
+    fault_profile: FaultProfile | None = None,
+) -> WindowSeeds:
+    """One window's seed substreams, without knowing the window count.
+
+    Bit-identical to ``window_seeds(reid_seed, n, fault_profile)[index]``
+    for every ``n > index`` — ``SeedSequence`` children are addressable
+    directly by spawn key, so the streaming service (which never knows
+    how many windows an unbounded feed will produce) derives exactly the
+    seeds the batch planner would have handed out.
+    """
+    if index < 0:
+        raise ValueError("index must be non-negative")
+    model = np.random.SeedSequence(reid_seed, spawn_key=(index,))
+    if fault_profile is None:
+        return WindowSeeds(model=model)
+    call, corrupt, crash = fault_profile.window_seam_seed(index)
+    return WindowSeeds(model=model, call=call, corrupt=corrupt, crash=crash)

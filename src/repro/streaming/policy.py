@@ -1,0 +1,137 @@
+"""Backpressure: the bounded intake queue and its overload policies.
+
+When merge work falls behind the feed, events pile up at the intake.
+The queue is bounded; what happens at the bound is a policy decision,
+made deterministically from simulated state (queue depth and simulated
+latency — never wall time):
+
+* ``block`` — lossless: the upstream transport holds events until the
+  queue drains (the service keeps consuming in order; depth never
+  exceeds capacity).  Latency grows, nothing is dropped.
+* ``drop-oldest`` — load shedding: the stalest queued frame is shed to
+  admit the newest.  The tracker sees the shed frame as missing; track
+  continuity degrades gracefully rather than latency growing without
+  bound.
+* ``degrade`` — quality shedding: every event is admitted (the queue
+  may exceed capacity), but windows that close while the service is
+  over capacity or beyond its latency SLO are merged with the
+  spatial-prior fallback (``MergeResult.degraded``) instead of paying
+  the ReID budget — trading recall for drain rate, exactly the
+  degradation path the resilience layer already defines.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.streaming.events import FrameEvent
+
+#: The recognised policy modes.
+MODES = ("block", "drop-oldest", "degrade")
+
+
+@dataclass(frozen=True)
+class BackpressurePolicy:
+    """Declarative overload behaviour for the intake queue.
+
+    Attributes:
+        mode: one of :data:`MODES` (see module docstring).
+        capacity: intake-queue bound, in events.
+        latency_slo_ms: simulated latency target for ``degrade`` mode —
+            a window closing more than this many simulated ms after its
+            last frame's nominal arrival is merged degraded.  ``None``
+            degrades on queue depth alone.
+    """
+
+    mode: str = "block"
+    capacity: int = 64
+    latency_slo_ms: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}")
+        if self.capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if self.latency_slo_ms is not None and self.latency_slo_ms < 0:
+            raise ValueError("latency_slo_ms must be non-negative")
+
+    def should_degrade(self, depth: int, lag_ms: float) -> bool:
+        """Whether a window closing now must merge in degraded mode."""
+        if self.mode != "degrade":
+            return False
+        if depth > self.capacity:
+            return True
+        return (
+            self.latency_slo_ms is not None and lag_ms > self.latency_slo_ms
+        )
+
+
+class IntakeQueue:
+    """The bounded FIFO between the feed and the service loop.
+
+    Admission semantics are driven by a :class:`BackpressurePolicy`;
+    all counters are part of the service's checkpointed state.
+
+    Args:
+        policy: the overload policy.
+    """
+
+    def __init__(self, policy: BackpressurePolicy) -> None:
+        self.policy = policy
+        self.events: deque[FrameEvent] = deque()
+        self.n_enqueued = 0
+        self.n_shed = 0
+        self.peak_depth = 0
+
+    @property
+    def depth(self) -> int:
+        """Current queue occupancy."""
+        return len(self.events)
+
+    @property
+    def head(self) -> FrameEvent | None:
+        """The oldest queued event, or ``None`` when empty."""
+        return self.events[0] if self.events else None
+
+    def admit(self, event: FrameEvent) -> bool:
+        """Try to enqueue ``event`` under the policy.
+
+        Returns:
+            ``True`` when the event entered the queue (possibly after
+            shedding the oldest entry under ``drop-oldest``); ``False``
+            under ``block`` at capacity — the caller must drain one
+            event and re-offer (upstream holds the event meanwhile).
+        """
+        if self.depth >= self.policy.capacity:
+            if self.policy.mode == "block":
+                return False
+            if self.policy.mode == "drop-oldest":
+                self.events.popleft()
+                self.n_shed += 1
+        self.events.append(event)
+        self.n_enqueued += 1
+        self.peak_depth = max(self.peak_depth, self.depth)
+        return True
+
+    def pop(self) -> FrameEvent:
+        """Dequeue the oldest event."""
+        return self.events.popleft()
+
+    def state_dict(self) -> dict:
+        """Pure-JSON state (queued events included)."""
+        return {
+            "events": [event.to_dict() for event in self.events],
+            "n_enqueued": self.n_enqueued,
+            "n_shed": self.n_shed,
+            "peak_depth": self.peak_depth,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output."""
+        self.events = deque(
+            FrameEvent.from_dict(event) for event in state["events"]
+        )
+        self.n_enqueued = int(state["n_enqueued"])
+        self.n_shed = int(state["n_shed"])
+        self.peak_depth = int(state["peak_depth"])

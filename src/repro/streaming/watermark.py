@@ -1,0 +1,122 @@
+"""Watermark tracking and the in-order release buffer.
+
+The service's disorder tolerance is the classic watermark construction:
+the watermark trails the highest frame seen by ``allowed_lateness``
+frames, and a frame is *final* once the watermark passes it — no
+in-tolerance arrival can precede it anymore.  Final frames are released
+to the tracker in strict frame order by :class:`ReorderBuffer`; frames
+arriving after their slot was finalized are late beyond tolerance and
+are shed (counted, never processed).  Both pieces are pure bookkeeping
+with JSON state, so the service checkpoint captures them exactly.
+"""
+
+from __future__ import annotations
+
+from repro import contracts
+from repro.detect import Detection
+
+#: Watermark value before any event has been observed.
+UNSTARTED = -1
+
+
+class WatermarkTracker:
+    """Monotone low-watermark over observed frame indices.
+
+    Args:
+        allowed_lateness: how many frames a payload may trail the
+            newest arrival and still be admitted (0 = in-order feeds
+            only).
+    """
+
+    def __init__(self, allowed_lateness: int = 0) -> None:
+        if allowed_lateness < 0:
+            raise ValueError("allowed_lateness must be non-negative")
+        self.allowed_lateness = allowed_lateness
+        self.max_frame = UNSTARTED
+
+    @property
+    def watermark(self) -> int:
+        """Highest frame index guaranteed final (may be ``UNSTARTED``)."""
+        return self.max_frame - self.allowed_lateness
+
+    def observe(self, frame: int) -> int:
+        """Fold one arrival in; return the (never-regressing) watermark."""
+        if frame < 0:
+            raise ValueError("frame must be non-negative")
+        before = self.watermark
+        self.max_frame = max(self.max_frame, frame)
+        if contracts.ENABLED:
+            contracts.check_watermark_monotonic(
+                before, self.watermark, where="WatermarkTracker"
+            )
+        return self.watermark
+
+    def state_dict(self) -> dict:
+        """Pure-JSON state."""
+        return {
+            "allowed_lateness": self.allowed_lateness,
+            "max_frame": self.max_frame,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output."""
+        self.allowed_lateness = int(state["allowed_lateness"])
+        self.max_frame = int(state["max_frame"])
+
+
+class ReorderBuffer:
+    """Holds not-yet-final frames; releases them in strict frame order.
+
+    Memory is bounded by construction: only frames above the watermark
+    are ever resident, i.e. at most ``allowed_lateness + disorder span``
+    payloads.
+    """
+
+    def __init__(self) -> None:
+        self.pending: dict[int, list[Detection]] = {}
+        self.last_released = UNSTARTED
+
+    def __len__(self) -> int:
+        return len(self.pending)
+
+    def add(self, frame: int, detections: list[Detection]) -> bool:
+        """Buffer one payload; return ``False`` for late/duplicate frames
+        (already released or already buffered) that must be shed."""
+        if frame <= self.last_released or frame in self.pending:
+            return False
+        self.pending[frame] = detections
+        return True
+
+    def release(
+        self, watermark: int
+    ) -> list[tuple[int, list[Detection] | None]]:
+        """Pop every frame up to ``watermark`` in order.
+
+        Frames that never arrived come back as ``(frame, None)`` so the
+        caller can account for them and keep the tracker's frame clock
+        aligned with event time.
+        """
+        released: list[tuple[int, list[Detection] | None]] = []
+        while self.last_released < watermark:
+            frame = self.last_released + 1
+            released.append((frame, self.pending.pop(frame, None)))
+            self.last_released = frame
+        return released
+
+    def state_dict(self) -> dict:
+        """Pure-JSON state (pending payloads included)."""
+        return {
+            "last_released": self.last_released,
+            "pending": {
+                str(frame): [d.to_dict() for d in detections]
+                for frame, detections in sorted(self.pending.items())
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output."""
+        self.last_released = int(state["last_released"])
+        self.pending = {
+            int(frame): [Detection.from_dict(d) for d in detections]
+            for frame, detections in state["pending"].items()
+        }

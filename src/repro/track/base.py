@@ -96,6 +96,24 @@ class Track:
             or other.last_frame < self.first_frame
         )
 
+    def to_dict(self) -> dict:
+        """Pure-JSON form (used by streaming service checkpoints)."""
+        return {
+            "track_id": self.track_id,
+            "observations": [
+                [obs.frame, obs.detection.to_dict()]
+                for obs in self.observations
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Track":
+        """Rebuild a track from :meth:`to_dict` output."""
+        track = cls(int(payload["track_id"]))
+        for frame, detection in payload["observations"]:
+            track.append(int(frame), Detection.from_dict(detection))
+        return track
+
 
 class Tracker(abc.ABC):
     """Interface every tracker implements: detections in, tracks out."""
@@ -121,3 +139,65 @@ class Tracker(abc.ABC):
         for new_id, track in enumerate(kept):
             track.track_id = new_id
         return kept
+
+    def stream(self) -> "TrackerStream":
+        """Open an incremental tracking session (streaming ingestion).
+
+        Trackers that support frame-at-a-time operation override this;
+        the default signals that only batch :meth:`run` is available.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no incremental mode; "
+            "use a streamable tracker (TracktorTracker, IoUTracker)"
+        )
+
+
+class TrackerStream(abc.ABC):
+    """A frame-at-a-time tracking session with checkpointable state.
+
+    The batch :meth:`Tracker.run` of a streamable tracker is defined as
+    ``stream()`` + :meth:`advance` per frame + :meth:`flush` +
+    ``finalize``, so feeding the same frames through a stream reproduces
+    the batch association decisions exactly.  Unlike ``run``, a stream
+    never renumbers TIDs: tracks keep their creation-order ids, which
+    stay deterministic under incremental consumption (a global dense
+    renumbering would require the whole feed).
+
+    Frames must be advanced in strictly increasing order; the streaming
+    service's watermark/reorder stage guarantees that.
+    """
+
+    @abc.abstractmethod
+    def advance(self, frame: int, detections: list[Detection]) -> list[Track]:
+        """Consume one frame; return tracks the tracker just closed.
+
+        Returned tracks already satisfy the tracker's ``min_length``
+        (shorter dying tracks are silently dropped, as in ``run``).
+        """
+
+    @abc.abstractmethod
+    def flush(self) -> list[Track]:
+        """Close and return all still-active tracks (end of feed)."""
+
+    @property
+    @abc.abstractmethod
+    def close_lag(self) -> int:
+        """Upper bound on frames between a track's last observation and
+        the :meth:`advance` call that closes it (the tracker's patience);
+        window finalization waits this many frames past a window's end."""
+
+    @abc.abstractmethod
+    def earliest_open_frame(self) -> int | None:
+        """First frame of the oldest still-active track (``None`` when no
+        track is active).  Windowed consumers use this to defer closing a
+        window while a track it owns is still being extended — without
+        it, tracks outliving the ``L ≥ 2·L_max`` assumption would close
+        after their window was finalized and be dropped."""
+
+    @abc.abstractmethod
+    def state_dict(self) -> dict:
+        """Complete pure-JSON session state (for durable checkpoints)."""
+
+    @abc.abstractmethod
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a session captured by :meth:`state_dict`."""

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from repro.detect import Detection
 from repro.geometry import iou_matrix
 from repro.track.assignment import solve_assignment
-from repro.track.base import Track, Tracker
+from repro.track.base import Track, Tracker, TrackerStream
 
 
 @dataclass
@@ -48,48 +48,121 @@ class IoUTracker(Tracker):
 
     def run(self, detections_per_frame: list[list[Detection]]) -> list[Track]:
         """Run the tracker over per-frame detections; return finished tracks."""
-        active: list[_ActiveTrack] = []
+        stream = self.stream()
         finished: list[Track] = []
-        next_id = 0
-
         for frame, detections in enumerate(detections_per_frame):
-            detections = [
-                d for d in detections if d.confidence >= self.min_confidence
-            ]
-            track_boxes = [
-                at.track.observations[-1].bbox for at in active
-            ]
-            det_boxes = [d.bbox for d in detections]
-            ious = iou_matrix(track_boxes, det_boxes)
-            matches = solve_assignment(
-                1.0 - ious, max_cost=1.0 - self.iou_threshold, method="greedy"
-            )
-
-            matched_tracks = {r for r, _ in matches}
-            matched_dets = {c for _, c in matches}
-            for r, c in matches:
-                active[r].track.append(frame, detections[c])
-                active[r].misses = 0
-
-            survivors: list[_ActiveTrack] = []
-            for idx, at in enumerate(active):
-                if idx in matched_tracks:
-                    survivors.append(at)
-                    continue
-                at.misses += 1
-                if at.misses > self.max_age:
-                    finished.append(at.track)
-                else:
-                    survivors.append(at)
-            active = survivors
-
-            for c, detection in enumerate(detections):
-                if c in matched_dets:
-                    continue
-                track = Track(next_id)
-                track.append(frame, detection)
-                active.append(_ActiveTrack(track))
-                next_id += 1
-
-        finished.extend(at.track for at in active)
+            finished.extend(stream.advance(frame, detections))
+        finished.extend(stream.flush())
         return self.finalize(finished, self.min_length)
+
+    def stream(self) -> "IoUStream":
+        """Open an incremental session (see :class:`TrackerStream`)."""
+        return IoUStream(self)
+
+
+class IoUStream(TrackerStream):
+    """Frame-at-a-time greedy-IoU session with checkpointable state.
+
+    Args:
+        tracker: the configuration holder; never mutated.
+    """
+
+    def __init__(self, tracker: IoUTracker) -> None:
+        self.tracker = tracker
+        self.active: list[_ActiveTrack] = []
+        self.next_id = 0
+        self.last_frame = -1
+
+    @property
+    def close_lag(self) -> int:
+        """A track dies ``max_age + 1`` frames after its last observation."""
+        return self.tracker.max_age + 1
+
+    def earliest_open_frame(self) -> int | None:
+        """First frame of the oldest still-active track."""
+        return min(
+            (at.track.first_frame for at in self.active), default=None
+        )
+
+    def advance(self, frame: int, detections: list[Detection]) -> list[Track]:
+        """Consume one frame; return tracks that just died (min-length
+        filtered)."""
+        if frame <= self.last_frame:
+            raise ValueError(
+                f"frames must strictly increase ({frame} after "
+                f"{self.last_frame})"
+            )
+        self.last_frame = frame
+        cfg = self.tracker
+        active = self.active
+        closed: list[Track] = []
+        detections = [
+            d for d in detections if d.confidence >= cfg.min_confidence
+        ]
+        track_boxes = [at.track.observations[-1].bbox for at in active]
+        det_boxes = [d.bbox for d in detections]
+        ious = iou_matrix(track_boxes, det_boxes)
+        matches = solve_assignment(
+            1.0 - ious, max_cost=1.0 - cfg.iou_threshold, method="greedy"
+        )
+
+        matched_tracks = {r for r, _ in matches}
+        matched_dets = {c for _, c in matches}
+        for r, c in matches:
+            active[r].track.append(frame, detections[c])
+            active[r].misses = 0
+
+        survivors: list[_ActiveTrack] = []
+        for idx, at in enumerate(active):
+            if idx in matched_tracks:
+                survivors.append(at)
+                continue
+            at.misses += 1
+            if at.misses > cfg.max_age:
+                if len(at.track) >= cfg.min_length:
+                    closed.append(at.track)
+            else:
+                survivors.append(at)
+        self.active = survivors
+
+        for c, detection in enumerate(detections):
+            if c in matched_dets:
+                continue
+            track = Track(self.next_id)
+            track.append(frame, detection)
+            self.active.append(_ActiveTrack(track))
+            self.next_id += 1
+        return closed
+
+    def flush(self) -> list[Track]:
+        """Close every still-active track (end of feed)."""
+        closed = [
+            at.track
+            for at in self.active
+            if len(at.track) >= self.tracker.min_length
+        ]
+        self.active = []
+        return closed
+
+    def state_dict(self) -> dict:
+        """Complete pure-JSON session state."""
+        return {
+            "next_id": self.next_id,
+            "last_frame": self.last_frame,
+            "active": [
+                {"track": at.track.to_dict(), "misses": at.misses}
+                for at in self.active
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a session captured by :meth:`state_dict`."""
+        self.next_id = int(state["next_id"])
+        self.last_frame = int(state["last_frame"])
+        self.active = [
+            _ActiveTrack(
+                track=Track.from_dict(entry["track"]),
+                misses=int(entry["misses"]),
+            )
+            for entry in state["active"]
+        ]

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from repro.detect import Detection
 from repro.geometry import BBox, iou_matrix
 from repro.track.assignment import solve_assignment
-from repro.track.base import Track, Tracker
+from repro.track.base import Track, Tracker, TrackerStream
 
 
 @dataclass
@@ -61,65 +61,151 @@ class TracktorTracker(Tracker):
 
     def run(self, detections_per_frame: list[list[Detection]]) -> list[Track]:
         """Run the tracker over per-frame detections; return finished tracks."""
-        active: list[_RegressedTrack] = []
+        stream = self.stream()
         finished: list[Track] = []
-        next_id = 0
-
         for frame, detections in enumerate(detections_per_frame):
-            detections = [
-                d for d in detections if d.confidence >= self.min_confidence
-            ]
-            predicted = [rt.extrapolate() for rt in active]
-            det_boxes = [d.bbox for d in detections]
-            ious = iou_matrix(predicted, det_boxes)
-            matches = solve_assignment(
-                1.0 - ious,
-                max_cost=1.0 - self.sigma_active,
-                method="hungarian",
-            )
-
-            matched_tracks = {r for r, _ in matches}
-            matched_dets = {c for _, c in matches}
-            for r, c in matches:
-                rt = active[r]
-                detection = detections[c]
-                old_cx, old_cy = rt.box.center
-                new_cx, new_cy = detection.bbox.center
-                rt.velocity = (new_cx - old_cx, new_cy - old_cy)
-                rt.box = detection.bbox
-                rt.misses = 0
-                rt.track.append(frame, detection)
-
-            survivors = []
-            for idx, rt in enumerate(active):
-                if idx in matched_tracks:
-                    survivors.append(rt)
-                    continue
-                rt.misses += 1
-                rt.box = rt.extrapolate()
-                if rt.misses > self.patience:
-                    finished.append(rt.track)
-                else:
-                    survivors.append(rt)
-            active = survivors
-
-            for c, detection in enumerate(detections):
-                if c in matched_dets:
-                    continue
-                if detection.confidence < self.new_det_confidence:
-                    continue
-                # Tracktor suppresses new tracks overlapping active ones
-                # (they are assumed to be the same object).
-                overlapping = any(
-                    iou_matrix([rt.box], [detection.bbox])[0, 0] > 0.3
-                    for rt in active
-                )
-                if overlapping:
-                    continue
-                track = Track(next_id)
-                track.append(frame, detection)
-                active.append(_RegressedTrack(track, detection.bbox))
-                next_id += 1
-
-        finished.extend(rt.track for rt in active)
+            finished.extend(stream.advance(frame, detections))
+        finished.extend(stream.flush())
         return self.finalize(finished, self.min_length)
+
+    def stream(self) -> "TracktorStream":
+        """Open an incremental session (see :class:`TrackerStream`)."""
+        return TracktorStream(self)
+
+
+class TracktorStream(TrackerStream):
+    """Frame-at-a-time Tracktor session with checkpointable state.
+
+    Args:
+        tracker: the configuration holder; never mutated.
+    """
+
+    def __init__(self, tracker: TracktorTracker) -> None:
+        self.tracker = tracker
+        self.active: list[_RegressedTrack] = []
+        self.next_id = 0
+        self.last_frame = -1
+
+    @property
+    def close_lag(self) -> int:
+        """A suspended track dies ``patience + 1`` frames after its last
+        observation."""
+        return self.tracker.patience + 1
+
+    def earliest_open_frame(self) -> int | None:
+        """First frame of the oldest still-active track."""
+        return min(
+            (rt.track.first_frame for rt in self.active), default=None
+        )
+
+    def advance(self, frame: int, detections: list[Detection]) -> list[Track]:
+        """Consume one frame; return tracks that just died (min-length
+        filtered)."""
+        if frame <= self.last_frame:
+            raise ValueError(
+                f"frames must strictly increase ({frame} after "
+                f"{self.last_frame})"
+            )
+        self.last_frame = frame
+        cfg = self.tracker
+        active = self.active
+        closed: list[Track] = []
+        detections = [
+            d for d in detections if d.confidence >= cfg.min_confidence
+        ]
+        predicted = [rt.extrapolate() for rt in active]
+        det_boxes = [d.bbox for d in detections]
+        ious = iou_matrix(predicted, det_boxes)
+        matches = solve_assignment(
+            1.0 - ious,
+            max_cost=1.0 - cfg.sigma_active,
+            method="hungarian",
+        )
+
+        matched_tracks = {r for r, _ in matches}
+        matched_dets = {c for _, c in matches}
+        for r, c in matches:
+            rt = active[r]
+            detection = detections[c]
+            old_cx, old_cy = rt.box.center
+            new_cx, new_cy = detection.bbox.center
+            rt.velocity = (new_cx - old_cx, new_cy - old_cy)
+            rt.box = detection.bbox
+            rt.misses = 0
+            rt.track.append(frame, detection)
+
+        survivors = []
+        for idx, rt in enumerate(active):
+            if idx in matched_tracks:
+                survivors.append(rt)
+                continue
+            rt.misses += 1
+            rt.box = rt.extrapolate()
+            if rt.misses > cfg.patience:
+                if len(rt.track) >= cfg.min_length:
+                    closed.append(rt.track)
+            else:
+                survivors.append(rt)
+        self.active = survivors
+
+        for c, detection in enumerate(detections):
+            if c in matched_dets:
+                continue
+            if detection.confidence < cfg.new_det_confidence:
+                continue
+            # Tracktor suppresses new tracks overlapping active ones
+            # (they are assumed to be the same object).
+            overlapping = any(
+                iou_matrix([rt.box], [detection.bbox])[0, 0] > 0.3
+                for rt in self.active
+            )
+            if overlapping:
+                continue
+            track = Track(self.next_id)
+            track.append(frame, detection)
+            self.active.append(_RegressedTrack(track, detection.bbox))
+            self.next_id += 1
+        return closed
+
+    def flush(self) -> list[Track]:
+        """Close every still-active track (end of feed)."""
+        closed = [
+            rt.track
+            for rt in self.active
+            if len(rt.track) >= self.tracker.min_length
+        ]
+        self.active = []
+        return closed
+
+    def state_dict(self) -> dict:
+        """Complete pure-JSON session state."""
+        return {
+            "next_id": self.next_id,
+            "last_frame": self.last_frame,
+            "active": [
+                {
+                    "track": rt.track.to_dict(),
+                    "box": [rt.box.x1, rt.box.y1, rt.box.x2, rt.box.y2],
+                    "velocity": list(rt.velocity),
+                    "misses": rt.misses,
+                }
+                for rt in self.active
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a session captured by :meth:`state_dict`."""
+        self.next_id = int(state["next_id"])
+        self.last_frame = int(state["last_frame"])
+        self.active = [
+            _RegressedTrack(
+                track=Track.from_dict(entry["track"]),
+                box=BBox(*(float(v) for v in entry["box"])),
+                velocity=(
+                    float(entry["velocity"][0]),
+                    float(entry["velocity"][1]),
+                ),
+                misses=int(entry["misses"]),
+            )
+            for entry in state["active"]
+        ]

@@ -21,5 +21,6 @@ class TestCli:
             "faults",
             "telemetry",
             "parallel",
+            "serve",
         }
         assert set(_RUNNERS) == expected

@@ -70,6 +70,8 @@ class TestPublicApi:
             "repro.io",
             "repro.analysis",
             "repro.lint",
+            "repro.parallel",
+            "repro.streaming",
         ):
             module = importlib.import_module(package)
             for name in getattr(module, "__all__", []):
@@ -83,6 +85,47 @@ class TestPublicApi:
             obj = getattr(repro, name)
             if callable(obj):
                 assert obj.__doc__, f"{name} lacks a docstring"
+
+
+class TestNoCompiledArtifacts:
+    """Compiled/caching artifacts must never be committed (PR 6 tracked
+    87 ``.pyc`` files by accident; this is the regression stop)."""
+
+    BANNED = ("__pycache__", ".pyc", ".pyo", ".pytest_cache", ".hypothesis")
+
+    def _tracked_files(self):
+        import subprocess
+
+        try:
+            out = subprocess.run(
+                ["git", "ls-files"],
+                cwd=REPO,
+                capture_output=True,
+                text=True,
+                check=True,
+            ).stdout
+        except (OSError, subprocess.CalledProcessError):
+            pytest.skip("git unavailable")
+        return out.splitlines()
+
+    def test_no_compiled_artifacts_tracked(self):
+        offenders = [
+            path
+            for path in self._tracked_files()
+            if any(marker in path for marker in self.BANNED)
+        ]
+        assert not offenders, (
+            f"compiled artifacts tracked by git: {offenders[:5]} "
+            f"(+{max(0, len(offenders) - 5)} more) — "
+            "remove them and keep .gitignore covering them"
+        )
+
+    def test_gitignore_covers_artifacts(self):
+        text = (REPO / ".gitignore").read_text()
+        for pattern in ("__pycache__/", ".pytest_cache/", ".hypothesis/",
+                        ".benchmarks/"):
+            assert pattern in text, f".gitignore missing {pattern}"
+        assert "*.py[cod]" in text or "*.pyc" in text
 
 
 class TestLinter:

@@ -340,12 +340,12 @@ class TestDegradedMerge:
 
     def test_degraded_recall_matches_spatial_baseline(self):
         """A fully-offline TMerge window equals the spatial-prior floor."""
-        from repro.core.pipeline import _spatial_fallback_result
+        from repro.core.pipeline import spatial_fallback_result
 
         pairs, planted = planted_pairs()
         merger = TMerge(k=0.2, tau_max=100, seed=3)
         degraded = merger.run(pairs, offline_scorer(backoff_base_ms=1.0))
-        baseline = _spatial_fallback_result(merger, pairs, elapsed=0.0)
+        baseline = spatial_fallback_result(merger, pairs, elapsed=0.0)
         rec_degraded = window_recall(degraded.candidate_keys, {planted})
         rec_baseline = window_recall(baseline.candidate_keys, {planted})
         assert rec_degraded >= rec_baseline
@@ -361,7 +361,7 @@ class TestDegradedMerge:
         """Property: a ReID-fully-offline window still yields a valid
         MergeResult whose recall is no worse than the spatial-prior-only
         baseline."""
-        from repro.core.pipeline import _spatial_fallback_result
+        from repro.core.pipeline import spatial_fallback_result
         from repro.core.results import top_k_count
 
         pairs, planted = planted_pairs(
@@ -375,7 +375,7 @@ class TestDegradedMerge:
         assert len(result.candidates) == top_k_count(len(pairs), k)
         assert set(result.scores) == {p.key for p in pairs}
         assert all(0.0 <= v <= 1.0 for v in result.scores.values())
-        baseline = _spatial_fallback_result(merger, pairs, elapsed=0.0)
+        baseline = spatial_fallback_result(merger, pairs, elapsed=0.0)
         rec = window_recall(result.candidate_keys, {planted})
         rec_floor = window_recall(baseline.candidate_keys, {planted})
         assert rec >= rec_floor

@@ -1,0 +1,151 @@
+"""Differential restart tests: kill + resume is bit-identical.
+
+The streaming service's headline robustness guarantee: a service
+SIGKILLed at a window boundary and rebuilt from its
+:class:`~repro.resilience.CheckpointStore` emits exactly what an
+uninterrupted run would have — candidates, scores, degraded flags,
+simulated clock, lifetime counters, all bit-for-bit — across ReID
+seeds × fault profiles, repeated crashes, a real process-restart
+simulation (fresh store reading the disk mirror), and worker-count
+changes across the crash.  Runs inside CI's chaos matrix.
+"""
+
+import pytest
+
+from helpers import tiny_world
+
+from repro.core.tmerge import TMerge
+from repro.faults import fault_profile
+from repro.resilience import CheckpointStore
+from repro.streaming import StreamingIngestionService, SyntheticFeedSource
+from repro.track import TracktorTracker
+
+SEEDS = (1, 5)
+PROFILES = (None, "flaky-reid", "window-crash")
+FAULT_SEED = 11
+
+
+@pytest.fixture(scope="module")
+def stream_world():
+    return tiny_world(n_frames=240, seed=21, initial_objects=6,
+                      max_objects=10, spawn_rate=0.03)
+
+
+def _profile(name):
+    return None if name is None else fault_profile(name, seed=FAULT_SEED)
+
+
+def _source(world, profile):
+    return SyntheticFeedSource(
+        world, disorder_ms=50.0, disorder_seed=3, fault_profile=profile
+    )
+
+
+def _service(store, *, seed=1, profile=None, workers=1):
+    return StreamingIngestionService(
+        TracktorTracker(),
+        TMerge(k=0.1, tau_max=100, batch_size=10, seed=3),
+        window_length=100,
+        allowed_lateness=4,
+        max_open_windows=8,
+        reid_seed=seed,
+        workers=workers,
+        parallel_backend="thread",
+        fault_profile=profile,
+        store=store,
+    )
+
+
+def _final_digest(result):
+    """Lifetime state that must match however many crashes happened."""
+    return {
+        "counters": result.counters,
+        "cost": result.cost.state_dict(),
+        "resilience": result.resilience_stats,
+        "watermark": result.watermark,
+        "position": result.position,
+    }
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("profile_name", PROFILES)
+def test_kill_resume_bit_identical(stream_world, seed, profile_name):
+    profile = _profile(profile_name)
+    source = _source(stream_world, profile)
+    reference = _service(
+        CheckpointStore(), seed=seed, profile=profile
+    ).run(source)
+    assert not reference.stopped
+    assert len(reference.emissions) >= 4
+
+    store = CheckpointStore()
+    first = _service(store, seed=seed, profile=profile).run(
+        source, stop_after_windows=2
+    )
+    assert first.stopped
+    assert len(first.emissions) == 2
+    resumed = _service(store, seed=seed, profile=profile).run(source)
+    assert not resumed.stopped
+
+    stitched = first.fingerprints() + resumed.fingerprints()
+    assert stitched == reference.fingerprints()
+    assert _final_digest(resumed) == _final_digest(reference)
+
+
+def test_repeated_crashes_still_identical(stream_world):
+    """Crashing after every single window changes nothing."""
+    source = _source(stream_world, None)
+    reference = _service(CheckpointStore()).run(source)
+
+    store = CheckpointStore()
+    fingerprints = []
+    for _ in range(len(reference.emissions) + 1):
+        result = _service(store).run(source, stop_after_windows=1)
+        fingerprints.extend(result.fingerprints())
+        if not result.stopped:
+            break
+    assert fingerprints == reference.fingerprints()
+    assert _final_digest(result) == _final_digest(reference)
+
+
+def test_disk_backed_process_restart(stream_world, tmp_path):
+    """A brand-new store over the same directory = a new process."""
+    source = _source(stream_world, _profile("flaky-reid"))
+    reference = _service(
+        CheckpointStore(), profile=_profile("flaky-reid")
+    ).run(source)
+
+    ckpt_dir = str(tmp_path / "ckpts")
+    first = _service(
+        CheckpointStore(path=ckpt_dir), profile=_profile("flaky-reid")
+    ).run(source, stop_after_windows=2)
+    # the "process" dies here; only the files survive
+    resumed = _service(
+        CheckpointStore(path=ckpt_dir), profile=_profile("flaky-reid")
+    ).run(source)
+    stitched = first.fingerprints() + resumed.fingerprints()
+    assert stitched == reference.fingerprints()
+    assert _final_digest(resumed) == _final_digest(reference)
+
+
+def test_worker_count_change_across_crash(stream_world):
+    """Resuming with a different fan-out must not change results."""
+    source = _source(stream_world, None)
+    reference = _service(CheckpointStore()).run(source)
+
+    store = CheckpointStore()
+    first = _service(store, workers=1).run(source, stop_after_windows=2)
+    resumed = _service(store, workers=3).run(source)
+    stitched = first.fingerprints() + resumed.fingerprints()
+    assert stitched == reference.fingerprints()
+    assert _final_digest(resumed) == _final_digest(reference)
+
+
+def test_fresh_store_means_fresh_start(stream_world):
+    """No snapshot → the service starts from offset 0, by design."""
+    source = _source(stream_world, None)
+    killed = _service(CheckpointStore()).run(source, stop_after_windows=1)
+    assert killed.stopped and killed.position < stream_world.n_frames
+    fresh = _service(CheckpointStore()).run(source)
+    assert fresh.emissions[0].fingerprint() == killed.emissions[0].fingerprint()
+    assert fresh.position == stream_world.n_frames
