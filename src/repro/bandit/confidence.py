@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 
 def hoeffding_radius(total_rounds: int, pulls: int) -> float:
     """The paper's ``U_{i,j} = sqrt(2 log τ / n_{i,j})``.
@@ -29,6 +31,32 @@ def hoeffding_radius(total_rounds: int, pulls: int) -> float:
         return math.inf
     log_term = math.log(total_rounds) if total_rounds > 1 else 0.0
     return math.sqrt(2.0 * log_term / pulls)
+
+
+def hoeffding_radii(total_rounds: int, pulls: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`hoeffding_radius` over an array of pull counts.
+
+    Bit-identical per element to the scalar function (same IEEE-754
+    ``sqrt(2 log τ / n)`` evaluation; unpulled arms get ``inf``), so the
+    ULB pruner can switch between them freely.
+
+    Args:
+        total_rounds: the current iteration count τ (≥ 1).
+        pulls: per-arm sample counts (non-negative).
+
+    Returns:
+        A float64 array of confidence radii, ``inf`` where ``pulls == 0``.
+    """
+    if total_rounds < 1:
+        raise ValueError("total_rounds must be >= 1")
+    pulls = np.asarray(pulls)
+    if np.any(pulls < 0):
+        raise ValueError("pulls must be non-negative")
+    log_term = math.log(total_rounds) if total_rounds > 1 else 0.0
+    # np.maximum guards the 0/0 → nan case (τ=1 with unpulled arms);
+    # the np.where then restores inf for every unpulled arm.
+    radii = np.sqrt(2.0 * log_term / np.maximum(pulls, 1))
+    return np.where(pulls > 0, radii, np.inf)
 
 
 def ucb_index(mean: float, total_rounds: int, pulls: int) -> float:

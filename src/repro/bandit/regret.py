@@ -9,6 +9,8 @@ efficiency-analysis bench can plot ``E[R(τ_max)]`` against the
 
 from __future__ import annotations
 
+from collections.abc import Iterable
+
 
 class RegretTracker:
     """Online average-regret accumulator.
@@ -28,6 +30,23 @@ class RegretTracker:
         """Record one iteration's observed normalized distance d̃_τ."""
         self._total += observed - self.s_min
         self._rounds += 1
+
+    def record_many(self, observed: Iterable[float]) -> None:
+        """Record a batch of observations in order.
+
+        Accumulates sequentially (float addition is not associative), so
+        the running total is bit-identical to calling :meth:`record` once
+        per element — the invariant the batched sampler's differential
+        tests rely on.  Batches are at most ``batch_size`` long, so the
+        Python loop is off the hot path.
+
+        Args:
+            observed: iterable of normalized distances d̃ (e.g. a numpy
+                array of one batched iteration's observations).
+        """
+        for value in observed:
+            self._total += float(value) - self.s_min
+            self._rounds += 1
 
     @property
     def rounds(self) -> int:

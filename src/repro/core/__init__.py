@@ -32,6 +32,7 @@ from repro.core.merge import merge_tracks, UnionFind
 from repro.core.pipeline import (
     IngestionPipeline,
     IngestionResult,
+    merger_with_batch_size,
     run_resilient_window,
 )
 
@@ -56,5 +57,6 @@ __all__ = [
     "UnionFind",
     "IngestionPipeline",
     "IngestionResult",
+    "merger_with_batch_size",
     "run_resilient_window",
 ]

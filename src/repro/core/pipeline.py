@@ -8,6 +8,7 @@ together and returns everything the evaluation and query layers need.
 
 from __future__ import annotations
 
+import copy
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Protocol
@@ -83,6 +84,33 @@ class Merger(Protocol):
     def name(self) -> str: ...
 
     def run(self, pairs: list[TrackPair], scorer: ReidScorer) -> MergeResult: ...
+
+
+def merger_with_batch_size(merger: Merger, batch_size: int | None) -> Merger:
+    """Shallow-copy ``merger`` with its ``batch_size`` overridden.
+
+    The run-level seam behind the pipeline/streaming ``batch_size``
+    knobs (and the ``REPRO_BATCH_SIZE`` CI dimension): ``None`` leaves
+    the merger untouched, any integer ≥ 1 returns a copy configured
+    with that batch size (``1`` forces the scalar path — see
+    :class:`~repro.core.tmerge.TMerge`).  The copy is shallow, so a
+    configured checkpoint store keeps being shared.
+
+    Raises:
+        TypeError: if the merger has no ``batch_size`` attribute (e.g.
+            the BL baseline, which has no batched variant).
+    """
+    if batch_size is None:
+        return merger
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    if not hasattr(merger, "batch_size"):
+        raise TypeError(
+            f"merger {merger.name!r} does not support a batch_size override"
+        )
+    clone = copy.copy(merger)
+    clone.batch_size = batch_size
+    return clone
 
 
 def run_resilient_window(
@@ -260,6 +288,12 @@ class IngestionPipeline:
         parallel_backend: pool flavour for ``workers`` ≥ 2 —
             ``"process"`` (default, real CPU parallelism) or
             ``"thread"`` (shared memory, GIL-bound).
+        batch_size: run-level override of the merger's ``batch_size``
+            (see :func:`merger_with_batch_size`).  ``None`` (default)
+            runs the merger as configured; ``1`` forces the scalar
+            sampling path; ``B > 1`` runs the batched §IV-F variant.
+            The merger itself is never mutated — each run works on a
+            configured copy.
     """
 
     tracker: Tracker
@@ -276,6 +310,11 @@ class IngestionPipeline:
     telemetry: Telemetry | None = None
     workers: int | None = None
     parallel_backend: str = "process"
+    batch_size: int | None = None
+
+    def _effective_merger(self) -> Merger:
+        """The merger this run executes (honouring the batch override)."""
+        return merger_with_batch_size(self.merger, self.batch_size)
 
     def _resilience(self) -> ResilienceConfig | None:
         """The effective resilience config (auto-on under a fault profile)."""
@@ -308,6 +347,7 @@ class IngestionPipeline:
         one tracker run across many merger configurations)."""
         if self.workers is not None:
             return self._run_sharded(world, detections, tracks)
+        merger = self._effective_merger()
         telemetry = self.telemetry
         cost = CostModel(self.cost_params, telemetry=telemetry)
         if telemetry is not None:
@@ -351,7 +391,7 @@ class IngestionPipeline:
         ingest_span = (
             telemetry.span(
                 "ingest",
-                method=self.merger.name,
+                method=merger.name,
                 n_windows=len(windows),
                 n_tracks=len(tracks),
             )
@@ -377,7 +417,8 @@ class IngestionPipeline:
                 with window_span:
                     if pairs:
                         result = self._run_window(
-                            c, pairs, scorer, cost, resilience, crasher
+                            merger, c, pairs, scorer, cost, resilience,
+                            crasher,
                         )
                         if contracts.ENABLED:
                             contracts.check_top_k_budget(
@@ -389,11 +430,11 @@ class IngestionPipeline:
                     else:
                         window_results.append(
                             MergeResult(
-                                method=self.merger.name,
+                                method=merger.name,
                                 candidates=[],
                                 scores={},
                                 n_pairs=0,
-                                k=getattr(self.merger, "k", 0.0),
+                                k=getattr(merger, "k", 0.0),
                                 simulated_seconds=0.0,
                             )
                         )
@@ -455,6 +496,7 @@ class IngestionPipeline:
         # Imported lazily: repro.parallel imports this module.
         from repro.parallel import run_windows
 
+        merger = self._effective_merger()
         telemetry = self.telemetry
         windows = partition_windows(
             world.n_frames, self.window_length, l_max=self.l_max
@@ -469,7 +511,7 @@ class IngestionPipeline:
         ingest_span = (
             telemetry.span(
                 "ingest",
-                method=self.merger.name,
+                method=merger.name,
                 n_windows=len(windows),
                 n_tracks=len(tracks),
                 workers=self.workers,
@@ -482,7 +524,7 @@ class IngestionPipeline:
             run = run_windows(
                 world=world,
                 window_pairs=window_pairs,
-                merger=self.merger,
+                merger=merger,
                 cost_params=self.cost_params,
                 reid_seed=self.reid_seed,
                 fault_profile=self.fault_profile,
@@ -511,6 +553,7 @@ class IngestionPipeline:
 
     def _run_window(
         self,
+        merger: Merger,
         index: int,
         pairs: list[TrackPair],
         scorer: ReidScorer | ResilientReidScorer,
@@ -520,5 +563,5 @@ class IngestionPipeline:
     ) -> MergeResult:
         """Run the merger on one window through the resilience seam."""
         return run_resilient_window(
-            self.merger, index, pairs, scorer, cost, resilience, crasher
+            merger, index, pairs, scorer, cost, resilience, crasher
         )

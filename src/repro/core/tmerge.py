@@ -9,6 +9,20 @@ success probability d̃ and updates the posterior (success ⇒ "looks
 distant").  The batched variant pulls the ``B`` smallest-θ arms at once and
 evaluates their BBox pairs in one simulated GPU call, preserving sample
 diversity — the reason TMerge-B scales with ``B`` while LCB-B does not.
+
+The whole per-iteration hot path is vectorized (DESIGN.md §13): Thompson
+draws are one ``rng`` call across all live arms, batched observations flow
+through :meth:`~repro.reid.scorer.ReidScorer.normalized_distances_batched`
+in one call, and posterior updates (Bernoulli flips included) are pure
+numpy array operations.  The vectorization is *stream-exact*: it consumes
+the RNG in the same order as the historical scalar loop
+(``rng.random(m)`` draws the same doubles as ``m`` scalar ``rng.random()``
+calls — the draw-order contract tested in
+``tests/test_batched_equivalence.py``), so results are bit-identical to
+the pre-vectorization implementation for every ``batch_size``.
+``batch_size=1`` (like ``batch_size=None``) degenerates *exactly* to the
+scalar algorithm: arg-min selection, unbatched scorer calls, unbatched
+cost accounting.
 """
 
 from __future__ import annotations
@@ -33,6 +47,12 @@ from repro.resilience import (
 from repro.telemetry import Telemetry, profiled
 
 _POSTERIORS = ("beta", "gaussian")
+
+#: Checkpoint payload schema version.  v1 (implicit — payloads without a
+#: ``version`` key) predates the vectorized sampler and never recorded the
+#: batch size; v2 records both so a resume with a mismatched ``batch_size``
+#: fails loudly instead of silently diverging from the interrupted run.
+CHECKPOINT_VERSION = 2
 
 #: Gaussian-posterior prior variance.  0.25 is the largest variance any
 #: [0, 1]-supported distribution can have (a fair coin's), so the prior is
@@ -148,6 +168,20 @@ class TMerge:
             return base
         return f"{base}-B{self.batch_size}"
 
+    @property
+    def _effective_batch(self) -> int | None:
+        """The batch size actually used by the sampling loop.
+
+        ``batch_size=1`` is the scalar algorithm — one arg-min arm, one
+        unbatched scorer call, one observation — so it degenerates to the
+        same code path as ``batch_size=None`` (same cost accounting, same
+        RNG consumption, bit-identical results).  Only ``batch_size>1``
+        engages top-B selection and the batched scorer seam.
+        """
+        if self.batch_size is None or self.batch_size == 1:
+            return None
+        return self.batch_size
+
     # ------------------------------------------------------------------
     @profiled
     def run(self, pairs: list[TrackPair], scorer: ReidScorer) -> MergeResult:
@@ -218,6 +252,7 @@ class TMerge:
         if self.checkpoint_store is not None:
             saved = self.checkpoint_store.load(window_key)
             if saved is not None:
+                self._check_checkpoint_compat(saved)
                 tau0 = int(saved["tau"])
                 iterations = int(saved["iterations"])
                 start_seconds = float(saved["start_seconds"])
@@ -263,37 +298,45 @@ class TMerge:
                 # alongside reid.invocations.
                 telemetry.count("tmerge.thompson_draws", live.size)
             try:
-                observations = self._evaluate(pairs, selected, scorer, rng)
+                owners, d_norms = self._evaluate(pairs, selected, scorer, rng)
             except REID_UNAVAILABLE:
                 degraded = True
                 if telemetry is not None:
                     telemetry.count("tmerge.degraded_windows")
                 break
 
-            for arm, d_norm in observations:
+            # Vectorized posterior update.  Owners are distinct arms (one
+            # draw per selected live arm), so fancy-index scatter adds are
+            # exact; the Bernoulli flips come from one rng.random(m) call,
+            # which consumes the PCG64 stream in the same order as m
+            # scalar draws — bit-identical to the historical per-
+            # observation loop.
+            if owners.size:
                 if contracts.ENABLED:
                     contracts.check_normalized_distance(
-                        d_norm, where="TMerge.run"
+                        d_norms, where="TMerge.run"
                     )
                 if regret is not None:
-                    regret.record(d_norm)
-                sums[arm] += d_norm
-                counts[arm] += 1
+                    regret.record_many(d_norms)
+                sums[owners] += d_norms
+                counts[owners] += 1
                 if self.posterior == "beta":
-                    outcome = 1 if rng.random() < d_norm else 0
-                    if outcome:
-                        successes[arm] += 1.0
-                    else:
-                        failures[arm] += 1.0
+                    hits = rng.random(owners.size) < d_norms
+                    successes[owners[hits]] += 1.0
+                    failures[owners[~hits]] += 1.0
                 else:
-                    precision = 1.0 / gauss_var[arm]
+                    precision = 1.0 / gauss_var[owners]
                     new_precision = precision + 1.0 / obs_var
-                    gauss_mean[arm] = (
-                        precision * gauss_mean[arm] + d_norm / obs_var
+                    gauss_mean[owners] = (
+                        precision * gauss_mean[owners] + d_norms / obs_var
                     ) / new_precision
-                    gauss_var[arm] = 1.0 / new_precision
-                if pairs[arm].exhausted:
-                    eligible[arm] = False
+                    gauss_var[owners] = 1.0 / new_precision
+                exhausted = np.fromiter(
+                    (pairs[int(arm)].exhausted for arm in owners),
+                    dtype=bool,
+                    count=owners.size,
+                )
+                eligible[owners[exhausted]] = False
 
             scorer.cost.charge_overhead(1)
             iterations = tau
@@ -360,6 +403,8 @@ class TMerge:
     ) -> dict:
         """Full pure-JSON snapshot of a mid-window run (see DESIGN.md §7)."""
         return {
+            "version": CHECKPOINT_VERSION,
+            "batch": self._effective_batch,
             "tau": tau,
             "iterations": iterations,
             "start_seconds": float(start_seconds),
@@ -377,6 +422,39 @@ class TMerge:
             "scorer": capture_scorer_state(scorer),
         }
 
+    def _check_checkpoint_compat(self, saved: dict) -> None:
+        """Refuse to resume a snapshot this configuration cannot honour.
+
+        v1 payloads (no ``version`` key) predate the vectorized sampler
+        and never recorded the batch size, so they are only trusted on
+        the scalar path — the one whose RNG consumption is unchanged
+        since v1.  v2 payloads record the *effective* batch (``None`` and
+        ``1`` are the same scalar algorithm), and a resume must use the
+        same one: a different batch consumes the RNG stream differently,
+        so continuing would silently diverge from the interrupted run.
+        """
+        version = int(saved.get("version", 1))
+        if version > CHECKPOINT_VERSION:
+            raise ValueError(
+                f"checkpoint version {version} is newer than this "
+                f"TMerge build supports ({CHECKPOINT_VERSION})"
+            )
+        if version == 1:
+            if self._effective_batch is not None:
+                raise ValueError(
+                    "v1 checkpoints predate batched snapshots and can "
+                    "only resume on the scalar path "
+                    f"(batch_size=None or 1, got {self.batch_size})"
+                )
+            return
+        saved_batch = saved.get("batch")
+        if saved_batch != self._effective_batch:
+            raise ValueError(
+                f"checkpoint was written with batch={saved_batch!r} but "
+                f"this run uses batch={self._effective_batch!r}; resuming "
+                "across batch sizes would diverge from the interrupted run"
+            )
+
     # ------------------------------------------------------------------
     def _select_arms(
         self,
@@ -386,46 +464,59 @@ class TMerge:
         gauss_mean: np.ndarray,
         gauss_var: np.ndarray,
         rng: np.random.Generator,
-    ) -> list[int]:
-        """Thompson-sample all live arms; return the chosen arm(s)."""
+    ) -> np.ndarray:
+        """Thompson-sample all live arms; return the chosen arm indices.
+
+        One vectorized posterior draw covers every live arm.  The scalar
+        path takes the arg-min; the batched path takes the B smallest θ
+        via argpartition (O(n) instead of a full sort), ordered by θ.
+        """
         if self.posterior == "beta":
             theta = rng.beta(successes[live], failures[live])
         else:
             theta = rng.normal(
                 gauss_mean[live], np.sqrt(gauss_var[live])
             )
-        if self.batch_size is None:
-            return [int(live[int(np.argmin(theta))])]
-        take = min(self.batch_size, live.size)
+        batch = self._effective_batch
+        if batch is None:
+            return live[np.argmin(theta)].reshape(1)
+        take = min(batch, live.size)
         order = np.argpartition(theta, take - 1)[:take]
         order = order[np.argsort(theta[order])]
-        return [int(live[int(i)]) for i in order]
+        return live[order]
 
     def _evaluate(
         self,
         pairs: list[TrackPair],
-        selected: list[int],
+        selected: np.ndarray,
         scorer: ReidScorer,
         rng: np.random.Generator,
-    ) -> list[tuple[int, float]]:
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Draw one BBox pair per selected arm and compute d̃ for each.
 
-        Goes through the scorer's normalized entry points so the
-        non-finite defense (and, when wrapped, the resilience layer)
-        covers every observation.
+        Returns ``(owners, d_norms)`` as parallel arrays feeding the
+        vectorized posterior update.  Goes through the scorer's
+        normalized entry points so the non-finite defense (and, when
+        wrapped, the resilience layer) covers every observation.  BBox
+        sampling stays a per-arm loop: rejection sampling is data-
+        dependent, and the loop preserves the historical RNG draw order.
         """
-        if self.batch_size is None:
-            arm = selected[0]
+        if self._effective_batch is None:
+            arm = int(selected[0])
             pair = pairs[arm]
             ia, ib = pair.sample_bbox_pair(rng)
             d_norm = scorer.normalized_distance(
                 pair.track_a, ia, pair.track_b, ib
             )
-            return [(arm, d_norm)]
+            return (
+                np.array([arm], dtype=np.int64),
+                np.array([d_norm], dtype=np.float64),
+            )
 
         requests = []
         owners = []
         for arm in selected:
+            arm = int(arm)
             pair = pairs[arm]
             if pair.exhausted:
                 continue
@@ -433,11 +524,17 @@ class TMerge:
             requests.append((pair.track_a, ia, pair.track_b, ib))
             owners.append(arm)
         if not requests:
-            return []
+            return (
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.float64),
+            )
         d_norms = scorer.normalized_distances_batched(
             requests, batch_size=self.batch_size
         )
-        return list(zip(owners, d_norms))
+        return (
+            np.asarray(owners, dtype=np.int64),
+            np.asarray(d_norms, dtype=np.float64),
+        )
 
     def _finalize(
         self,

@@ -15,7 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro import contracts
-from repro.bandit.confidence import hoeffding_radius
+from repro.bandit.confidence import hoeffding_radii
 from repro.telemetry import Telemetry
 
 
@@ -116,9 +116,7 @@ class UlbPruner:
                     "ulb.nonfinite_clamped", int(bad.sum())
                 )
             means = np.where(bad, 1.0, means)
-        radii = self.radius_scale * np.array(
-            [hoeffding_radius(total_rounds, int(n)) for n in pulls]
-        )
+        radii = self.radius_scale * hoeffding_radii(total_rounds, pulls)
         uppers = means + radii
         lowers = means - radii
 
@@ -129,29 +127,30 @@ class UlbPruner:
         sorted_lowers = np.sort(lowers)  # −inf entries sort first
         sorted_uppers = np.sort(uppers)  # +inf entries sort last
 
-        newly_accepted: set[int] = set()
-        newly_rejected: set[int] = set()
+        consider = finite.copy()
         already = self.pruned
-        for arm in range(self.n_arms):
-            if arm in already or not finite[arm]:
-                continue
-            # Accept: at most k_count − 1 *other* arms might beat this one,
-            # i.e. have a lower bound below this arm's upper bound.
-            rivals_below = int(
-                np.searchsorted(sorted_lowers, uppers[arm], side="left")
-            )
-            # The arm's own (finite) lower bound is always < its upper bound.
-            rivals_below -= 1
-            if rivals_below <= self.k_count - 1:
-                newly_accepted.add(arm)
-                continue
-            # Reject: at least k_count other arms are certainly better,
-            # i.e. have an upper bound below this arm's lower bound.
-            certainly_better = int(
-                np.searchsorted(sorted_uppers, lowers[arm], side="left")
-            )
-            if certainly_better >= self.k_count:
-                newly_rejected.add(arm)
+        if already:
+            consider[list(already)] = False
+        # Accept: at most k_count − 1 *other* arms might beat this one,
+        # i.e. have a lower bound below this arm's upper bound.  The −1
+        # discounts the arm's own (finite) lower bound, always < its
+        # upper bound.  One vectorized searchsorted covers every arm.
+        rivals_below = (
+            np.searchsorted(sorted_lowers, uppers, side="left") - 1
+        )
+        accept = consider & (rivals_below <= self.k_count - 1)
+        # Reject: at least k_count other arms are certainly better, i.e.
+        # have an upper bound below this arm's lower bound.  Acceptance
+        # takes precedence, exactly as in the per-arm formulation.
+        certainly_better = np.searchsorted(sorted_uppers, lowers, side="left")
+        reject = consider & ~accept & (certainly_better >= self.k_count)
+
+        newly_accepted: set[int] = {
+            int(arm) for arm in np.nonzero(accept)[0]
+        }
+        newly_rejected: set[int] = {
+            int(arm) for arm in np.nonzero(reject)[0]
+        }
 
         # Acceptance capacity: never accept more arms than the budget.
         room = self.k_count - len(self.accepted)

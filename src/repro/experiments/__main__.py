@@ -11,6 +11,7 @@ Usage::
     python -m repro.experiments serve --frames 600      # streaming service
     python -m repro.experiments serve --kill-after 2    # kill + resume demo
     python -m repro.experiments gate --current benchmarks/results/bench_summary.json
+    python -m repro.experiments perf --smoke      # batched hot-path check
     python -m repro.experiments list              # show available figures
 
 Each figure runs at the same laptop scale as the benchmark suite and
@@ -23,7 +24,9 @@ baseline and exits non-zero on a regression (the CI bench gate).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
 from repro.experiments import figures
 from repro.experiments.ascii_plot import rec_fps_plot
@@ -450,6 +453,38 @@ def run_gate(args) -> int:
     return 0
 
 
+def run_perf(args) -> int:
+    """Run the batched hot-path microbench; return the exit status.
+
+    The ``bench-perf`` CI lane: measures scalar vs batched TMerge on the
+    same workload, writes ``perf_summary.json``, optionally appends to
+    the committed trend file, and fails (non-zero exit) if the batched
+    sampler is slower per observation than the scalar one.
+    """
+    from repro.experiments import perf
+
+    summary = perf.run_perf(smoke=args.smoke, repeats=args.repeats)
+    print(perf.format_summary(summary))
+
+    out_path = Path(args.output)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+    print(f"\nperf summary written to {out_path}")
+
+    if args.trend:
+        perf.append_trend(summary, args.trend)
+        print(f"trend record appended to {args.trend}")
+
+    failures = perf.check_summary(summary)
+    if failures:
+        print("bench-perf: FAIL")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"bench-perf: OK (speedup {summary['speedup']:.2f}x >= 1.0)")
+    return 0
+
+
 def run_faults(args) -> str:
     """Render the chaos matrix: TMerge under injected fault profiles."""
     from repro.experiments.chaos import fault_profile_sweep
@@ -498,8 +533,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "figure",
-        choices=sorted(_RUNNERS) + ["gate", "list"],
-        help="which figure to regenerate (or: telemetry, gate, list)",
+        choices=sorted(_RUNNERS) + ["gate", "perf", "list"],
+        help="which figure to regenerate (or: telemetry, gate, perf, list)",
     )
     parser.add_argument(
         "--videos",
@@ -614,12 +649,35 @@ def main(argv: list[str] | None = None) -> int:
         default=0.05,
         help="relative regression tolerance (gate only, default 0.05)",
     )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="use the CI smoke workload (perf only)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timed runs per contender, best kept (perf only, default 3)",
+    )
+    parser.add_argument(
+        "--output",
+        default="benchmarks/results/perf_summary.json",
+        help="where to write the perf summary (perf only)",
+    )
+    parser.add_argument(
+        "--trend",
+        default=None,
+        help="JSONL trend file to append the perf record to (perf only)",
+    )
     args = parser.parse_args(argv)
     if args.figure == "list":
-        print("available:", ", ".join(sorted(_RUNNERS) + ["gate"]))
+        print("available:", ", ".join(sorted(_RUNNERS) + ["gate", "perf"]))
         return 0
     if args.figure == "gate":
         return run_gate(args)
+    if args.figure == "perf":
+        return run_perf(args)
     print(_RUNNERS[args.figure](args))
     return 0
 

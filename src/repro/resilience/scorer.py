@@ -265,15 +265,26 @@ class ResilientReidScorer:
         requests: list[tuple],
         batch_size: int,
     ) -> list[float]:
-        """Batched distances (§IV-F), validated finite per request."""
+        """Batched distances (§IV-F), validated finite per request.
+
+        The whole batch is one guarded call: the breaker records one
+        success or failure per simulated GPU invocation (not per
+        request), and validation is one vectorized ``isfinite`` pass.
+        """
+        if self.telemetry is not None:
+            self.telemetry.count("resilience.batched_calls")
 
         def attempt() -> list[float]:
             result = self._scorer.distances_batched(requests, batch_size)
-            bad = [i for i, d in enumerate(result) if not np.isfinite(d)]
-            if bad:
+            bad = np.nonzero(~np.isfinite(np.asarray(result)))[0]
+            if bad.size:
+                if self.telemetry is not None:
+                    self.telemetry.count(
+                        "resilience.corrupt_batch_requests", int(bad.size)
+                    )
                 keys = []
                 for i in bad:
-                    track_a, ia, track_b, ib = requests[i]
+                    track_a, ia, track_b, ib = requests[int(i)]
                     keys.append((track_a.track_id, ia))
                     keys.append((track_b.track_id, ib))
                 raise self._corrupt(keys, "batched distances")
@@ -307,12 +318,12 @@ class ResilientReidScorer:
         batch_size: int,
     ) -> list[float]:
         """Batched d̃ values through the guarded batched path."""
-        from repro.reid.scorer import normalize_distance
+        from repro.reid.scorer import normalize_distances
 
-        return [
-            normalize_distance(d)
-            for d in self.distances_batched(requests, batch_size)
-        ]
+        raw = self.distances_batched(requests, batch_size)
+        if not raw:
+            return []
+        return [float(d) for d in normalize_distances(raw)]
 
     # ------------------------------------------------------------------
     def stats(self) -> dict[str, float]:

@@ -48,7 +48,11 @@ from typing import Iterator
 
 from repro import contracts
 from repro.core.pairs import TrackPair, build_track_pairs
-from repro.core.pipeline import Merger, spatial_fallback_result
+from repro.core.pipeline import (
+    Merger,
+    merger_with_batch_size,
+    spatial_fallback_result,
+)
 from repro.core.results import MergeResult
 from repro.core.windows import Window, window_at
 from repro.detect import Detection
@@ -199,6 +203,12 @@ class StreamingIngestionService:
         workers: fan-out for simultaneously-ready windows (≥ 1); any
             value produces bit-identical emissions.
         parallel_backend: ``"process"`` or ``"thread"``.
+        batch_size: run-level override of the merger's ``batch_size``
+            (``None`` keeps the merger as configured, ``1`` forces the
+            scalar sampling path, ``B > 1`` the batched §IV-F variant —
+            see :func:`~repro.core.pipeline.merger_with_batch_size`).
+            Applied once at construction; determinism stays a pure
+            function of ``(seed, window index, batch_size)``.
         store: the durable write-ahead state.  ``None`` runs without
             restart capability (no snapshots are written).
         checkpoint_key: snapshot key within the store (one store can
@@ -224,6 +234,7 @@ class StreamingIngestionService:
         parallel_backend: str = "process",
         store: CheckpointStore | None = None,
         checkpoint_key: str = "stream",
+        batch_size: int | None = None,
     ) -> None:
         if window_length < 2:
             raise ValueError("window_length must be >= 2")
@@ -232,7 +243,8 @@ class StreamingIngestionService:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.tracker = tracker
-        self.merger = merger
+        self.merger = merger_with_batch_size(merger, batch_size)
+        self.batch_size = batch_size
         self.window_length = window_length
         self.stride = window_length // 2
         self.allowed_lateness = allowed_lateness

@@ -6,6 +6,7 @@ session-scoped; tests must not mutate them.
 
 from __future__ import annotations
 
+import os
 import sys
 from pathlib import Path
 
@@ -62,6 +63,12 @@ def make_pipeline():
             merger=TMerge(k=0.1, tau_max=300, batch_size=10, seed=3),
             window_length=300,
         )
+        # CI chaos-matrix seam: REPRO_BATCH_SIZE forces every pipeline
+        # built here onto one batch size (1 = scalar path, 8 = batched),
+        # unless the test pins batch_size itself.
+        env_batch = os.environ.get("REPRO_BATCH_SIZE")
+        if env_batch:
+            config["batch_size"] = int(env_batch)
         config.update(overrides)
         return IngestionPipeline(**config)
 

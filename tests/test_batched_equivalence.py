@@ -1,0 +1,347 @@
+"""Differential tests for the vectorized batched sampler (DESIGN.md §13).
+
+Three guarantees are enforced here:
+
+* **Golden bit-identity** — the vectorized inner loop reproduces
+  pre-vectorization fingerprints (``tests/fixtures/tmerge_golden.json``,
+  captured before the rewrite) exactly, on both the scalar and the
+  batched path, for both posteriors, with and without ULB/regret.
+* **B=1 ≡ scalar** — ``batch_size=1`` degenerates to the scalar
+  algorithm bit-for-bit, across seeds × fault profiles × worker counts
+  (the pipeline-level knob threads end to end).
+* **Checkpoint compatibility** — a v1 (pre-batch) snapshot
+  (``tests/fixtures/checkpoint_v1.json``) still loads and completes on
+  the scalar path bit-identically; a batched run checkpointed mid-window
+  resumes bit-identically; mismatched batch sizes or unknown versions
+  refuse loudly.
+
+The underlying RNG draw-order contract (one ``rng.random(m)`` call
+consumes the PCG64 stream exactly like ``m`` scalar calls) is asserted
+directly, so a numpy behaviour change fails here first with a clear
+message rather than as an opaque fingerprint diff.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from helpers import planted_pairs, stub_scorer
+
+from repro.core.baseline import BaselineMerger
+from repro.core.pipeline import merger_with_batch_size
+from repro.core.tmerge import CHECKPOINT_VERSION, TMerge
+from repro.faults import fault_profile
+from repro.resilience import CheckpointStore
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: The exact configurations the golden fixtures were captured with
+#: (pre-vectorization code, numpy Generator streams, seeds pinned).
+GOLDEN_CONFIGS = {
+    "scalar_beta_s0": dict(k=0.2, tau_max=300, seed=0),
+    "scalar_beta_s5": dict(k=0.2, tau_max=300, seed=5),
+    "scalar_gauss_s0": dict(k=0.2, tau_max=300, seed=0, posterior="gaussian"),
+    "scalar_noulb_s2": dict(k=0.2, tau_max=250, seed=2, use_ulb=False),
+    "scalar_regret_s1": dict(k=0.2, tau_max=200, seed=1, s_min=0.0),
+    "scalar_tight_ulb_s0": dict(
+        k=0.2, tau_max=400, seed=0, ulb_scale=0.3, ulb_interval=10
+    ),
+    "batched_b10_s0": dict(k=0.2, tau_max=300, seed=0, batch_size=10),
+    "batched_b10_s5": dict(k=0.2, tau_max=300, seed=5, batch_size=10),
+    "batched_b4_gauss_s3": dict(
+        k=0.2, tau_max=300, seed=3, batch_size=4, posterior="gaussian"
+    ),
+    "batched_b8_tight_ulb_s1": dict(
+        k=0.2, tau_max=400, seed=1, batch_size=8,
+        ulb_scale=0.3, ulb_interval=10,
+    ),
+}
+
+FAULT_SEED = 11
+
+
+def _workload():
+    pairs, _ = planted_pairs(n_distinct=8, track_len=6)
+    return pairs, stub_scorer(noise=0.05, seed=9)
+
+
+def _merge_fingerprint(result, scorer):
+    """JSON-normalized digest matching the golden capture script."""
+    return json.loads(json.dumps({
+        "candidates": [list(k) for k in result.candidate_keys],
+        "scores": sorted((list(k), v) for k, v in result.scores.items()),
+        "iterations": result.iterations,
+        "simulated_seconds": result.simulated_seconds,
+        "cost": scorer.cost.state_dict(),
+        "extra": dict(result.extra),
+    }))
+
+
+# ----------------------------------------------------------------------
+# RNG draw-order contract
+# ----------------------------------------------------------------------
+class TestDrawOrderContract:
+    def test_vector_random_matches_scalar_sequence(self):
+        """rng.random(m) consumes the stream exactly like m scalar calls."""
+        for seed in (0, 1, 17):
+            vec = np.random.default_rng(seed).random(64)
+            rng = np.random.default_rng(seed)
+            scalars = np.array([rng.random() for _ in range(64)])
+            assert np.array_equal(vec, scalars)
+
+    def test_generator_state_identical_after_batch_draw(self):
+        """Downstream draws agree, so batches can interleave freely."""
+        a = np.random.default_rng(5)
+        b = np.random.default_rng(5)
+        a.random(10)
+        for _ in range(10):
+            b.random()
+        assert a.bit_generator.state == b.bit_generator.state
+
+
+# ----------------------------------------------------------------------
+# Golden bit-identity vs the pre-vectorization implementation
+# ----------------------------------------------------------------------
+class TestGoldenFingerprints:
+    @pytest.fixture(scope="class")
+    def golden(self):
+        with open(FIXTURES / "tmerge_golden.json") as fh:
+            return json.load(fh)
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN_CONFIGS))
+    def test_matches_prevectorization_run(self, golden, name):
+        pairs, scorer = _workload()
+        result = TMerge(**GOLDEN_CONFIGS[name]).run(pairs, scorer)
+        assert _merge_fingerprint(result, scorer) == golden[name]
+
+    @pytest.mark.parametrize(
+        "name", [n for n in sorted(GOLDEN_CONFIGS) if n.startswith("scalar")]
+    )
+    def test_batch_size_one_is_the_scalar_path(self, golden, name):
+        """B=1 reproduces the pre-vectorization *scalar* fingerprints."""
+        pairs, scorer = _workload()
+        result = TMerge(**GOLDEN_CONFIGS[name], batch_size=1).run(
+            pairs, scorer
+        )
+        assert _merge_fingerprint(result, scorer) == golden[name]
+
+    def test_batch_size_one_charges_no_batched_extractions(self):
+        pairs, scorer = _workload()
+        TMerge(k=0.2, tau_max=100, seed=0, batch_size=1).run(pairs, scorer)
+        state = scorer.cost.state_dict()
+        assert state["n_batch_calls"] == 0
+        assert state["n_batched_extractions"] == 0
+        assert state["n_extractions"] > 0
+
+
+# ----------------------------------------------------------------------
+# B=1 ≡ scalar through the pipeline, across the chaos dimensions
+# ----------------------------------------------------------------------
+def _pipeline_fingerprint(result):
+    return {
+        "candidates": [
+            tuple(sorted(r.candidate_keys)) for r in result.window_results
+        ],
+        "scores": [
+            tuple(sorted(r.scores.items())) for r in result.window_results
+        ],
+        "degraded": [r.degraded for r in result.window_results],
+        "iterations": [r.iterations for r in result.window_results],
+        "simulated_seconds": [
+            r.simulated_seconds for r in result.window_results
+        ],
+        "cost": result.cost.state_dict(),
+        "resilience": dict(result.resilience_stats),
+        "id_map": dict(result.id_map),
+        "merged_ids": sorted(t.track_id for t in result.merged_tracks),
+    }
+
+
+@pytest.fixture(scope="module")
+def tracked(chaos_world):
+    from repro.detect import NoisyDetector
+    from repro.track import TracktorTracker
+
+    detections = NoisyDetector().detect_video(chaos_world, seed=2)
+    tracks = TracktorTracker().run(detections)
+    return detections, tracks
+
+
+@pytest.mark.parametrize("profile", (None, "flaky-reid", "window-crash"))
+@pytest.mark.parametrize("seed", (1, 5))
+@pytest.mark.parametrize("workers", (None, 2))
+def test_pipeline_batch_one_matches_scalar(
+    make_pipeline, chaos_world, tracked, profile, seed, workers
+):
+    """The run-level B=1 override is bit-identical to a scalar merger."""
+    detections, tracks = tracked
+
+    def run(**overrides):
+        pipeline = make_pipeline(
+            window_length=100,
+            reid_seed=seed,
+            workers=workers,
+            parallel_backend="thread",
+            fault_profile=(
+                None if profile is None
+                else fault_profile(profile, seed=FAULT_SEED)
+            ),
+            **overrides,
+        )
+        return pipeline.run_on_tracks(chaos_world, detections, tracks)
+
+    scalar = run(
+        merger=TMerge(k=0.1, tau_max=300, batch_size=None, seed=3),
+        batch_size=None,
+    )
+    # The default merger is batched (B=10); the knob forces it scalar.
+    batch_one = run(batch_size=1)
+    assert _pipeline_fingerprint(batch_one) == _pipeline_fingerprint(scalar)
+
+
+def test_merger_override_copies_instead_of_mutating():
+    merger = TMerge(k=0.2, batch_size=10, seed=0)
+    clone = merger_with_batch_size(merger, 4)
+    assert clone is not merger
+    assert clone.batch_size == 4
+    assert merger.batch_size == 10
+    assert merger_with_batch_size(merger, None) is merger
+
+
+def test_merger_override_accepts_every_shipped_merger():
+    """All §III/§IV competitors expose the batch knob (BL included)."""
+    assert merger_with_batch_size(BaselineMerger(k=0.1), 8).batch_size == 8
+
+
+def test_merger_override_rejects_unbatchable_merger():
+    class NoBatch:
+        name = "no-batch"
+
+        def run(self, pairs, scorer):
+            raise NotImplementedError
+
+    with pytest.raises(TypeError):
+        merger_with_batch_size(NoBatch(), 8)
+    with pytest.raises(ValueError):
+        merger_with_batch_size(TMerge(), 0)
+
+
+def test_make_pipeline_env_seam(make_pipeline, monkeypatch):
+    monkeypatch.setenv("REPRO_BATCH_SIZE", "8")
+    assert make_pipeline().batch_size == 8
+    # An explicit override still wins over the environment.
+    assert make_pipeline(batch_size=2).batch_size == 2
+
+
+# ----------------------------------------------------------------------
+# Checkpoint forward/backward compatibility
+# ----------------------------------------------------------------------
+class TestCheckpointCompat:
+    @pytest.fixture(scope="class")
+    def v1_fixture(self):
+        with open(FIXTURES / "checkpoint_v1.json") as fh:
+            return json.load(fh)
+
+    def test_v1_checkpoint_resumes_scalar_bit_identically(self, v1_fixture):
+        """A pre-batch snapshot completes exactly as the original run."""
+        pairs, scorer = _workload()
+        store = CheckpointStore()
+        store.save([list(p.key) for p in pairs], v1_fixture["payload"])
+        result = TMerge(
+            checkpoint_store=store, **v1_fixture["config"]
+        ).run(pairs, scorer)
+        got = _merge_fingerprint(result, scorer)
+        del got["extra"]
+        assert got == v1_fixture["reference"]
+
+    def test_v1_checkpoint_refused_on_batched_path(self, v1_fixture):
+        pairs, scorer = _workload()
+        store = CheckpointStore()
+        store.save([list(p.key) for p in pairs], v1_fixture["payload"])
+        with pytest.raises(ValueError, match="scalar path"):
+            TMerge(
+                checkpoint_store=store,
+                batch_size=8,
+                **v1_fixture["config"],
+            ).run(pairs, scorer)
+
+    def _captured_payload(self, *, batch_size, capture_tau, **kwargs):
+        """Run once uninterrupted, spying out one mid-window snapshot."""
+        pairs, scorer = _workload()
+        store = CheckpointStore()
+        captured = {}
+        orig_save = store.save
+
+        def spy(key, state):
+            if state["tau"] == capture_tau:
+                captured["payload"] = json.loads(json.dumps(state))
+            orig_save(key, state)
+
+        store.save = spy
+        result = TMerge(
+            checkpoint_store=store, batch_size=batch_size, **kwargs
+        ).run(pairs, scorer)
+        assert "payload" in captured
+        return captured["payload"], _merge_fingerprint(result, scorer)
+
+    def test_batched_mid_window_resume_bit_identical(self):
+        """A B=8 run killed mid-window resumes to the exact same result."""
+        config = dict(
+            k=0.2, tau_max=300, seed=4, checkpoint_interval=40
+        )
+        payload, reference = self._captured_payload(
+            batch_size=8, capture_tau=120, **config
+        )
+        assert payload["version"] == CHECKPOINT_VERSION
+        assert payload["batch"] == 8
+
+        pairs, scorer = _workload()
+        store = CheckpointStore()
+        store.save([list(p.key) for p in pairs], payload)
+        resumed = TMerge(
+            checkpoint_store=store, batch_size=8, **config
+        ).run(pairs, scorer)
+        assert _merge_fingerprint(resumed, scorer) == reference
+
+    def test_batch_mismatch_refused(self):
+        payload, _ = self._captured_payload(
+            batch_size=8, capture_tau=80,
+            k=0.2, tau_max=200, seed=4, checkpoint_interval=40,
+        )
+        pairs, scorer = _workload()
+        store = CheckpointStore()
+        store.save([list(p.key) for p in pairs], payload)
+        with pytest.raises(ValueError, match="batch"):
+            TMerge(
+                checkpoint_store=store, batch_size=4,
+                k=0.2, tau_max=200, seed=4, checkpoint_interval=40,
+            ).run(pairs, scorer)
+
+    def test_newer_version_refused(self):
+        pairs, scorer = _workload()
+        store = CheckpointStore()
+        merger = TMerge(
+            k=0.2, tau_max=200, seed=4,
+            checkpoint_interval=40, checkpoint_store=store,
+        )
+        payload = {"version": CHECKPOINT_VERSION + 1, "tau": 10}
+        store.save([list(p.key) for p in pairs], payload)
+        with pytest.raises(ValueError, match="newer"):
+            merger.run(pairs, scorer)
+
+    def test_none_and_one_share_scalar_checkpoints(self):
+        """batch_size=None and =1 are the same regime: snapshots swap."""
+        config = dict(k=0.2, tau_max=300, seed=4, checkpoint_interval=40)
+        payload, reference = self._captured_payload(
+            batch_size=None, capture_tau=120, **config
+        )
+        assert payload["batch"] is None
+        pairs, scorer = _workload()
+        store = CheckpointStore()
+        store.save([list(p.key) for p in pairs], payload)
+        resumed = TMerge(
+            checkpoint_store=store, batch_size=1, **config
+        ).run(pairs, scorer)
+        assert _merge_fingerprint(resumed, scorer) == reference

@@ -1,0 +1,139 @@
+"""Tests for the bench-perf lane (repro.experiments.perf + CLI).
+
+The lane's wall-clock *ratio* gate only makes sense on a quiet CI
+machine at the real smoke scale, so these tests pin down everything
+else: summary schema, observation accounting, the failure predicate,
+trend-file append semantics, and the CLI exit codes — with the
+workload shrunk far below smoke scale to keep tier-1 fast.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import perf
+from repro.experiments.__main__ import main as experiments_main
+
+TINY_WORKLOAD = dict(preset="mot17", n_videos=1, seed=0, n_frames=80)
+TINY_TAU = 64
+
+
+@pytest.fixture
+def tiny_perf(monkeypatch):
+    """Shrink the perf workload so run_perf completes in ~a second."""
+    monkeypatch.setattr(perf, "SMOKE_WORKLOAD", TINY_WORKLOAD)
+    monkeypatch.setattr(perf, "SMOKE_SCALAR_TAU", TINY_TAU)
+
+
+def _fabricated(speedup):
+    side = {
+        "wall_s": 0.1,
+        "observations": 100.0,
+        "ms_per_obs": 1.0,
+        "recall": 0.5,
+        "reid_invocations": 200.0,
+        "simulated_seconds": 2.0,
+    }
+    return {
+        "schema": perf.SCHEMA_VERSION,
+        "unix_time": 0.0,
+        "python": "3.x",
+        "numpy": "2.x",
+        "workload": {"preset": "mot17", "n_videos": 1, "seed": 0,
+                     "n_frames": 80, "scalar_tau": 64, "smoke": True},
+        "batch_size": perf.BATCH_SIZE,
+        "repeats": 1,
+        "scalar": dict(side),
+        "batched": {**side, "ms_per_obs": 1.0 / speedup},
+        "speedup": speedup,
+    }
+
+
+def test_run_perf_summary_schema(tiny_perf):
+    summary = perf.run_perf(smoke=True, repeats=1)
+    assert summary["schema"] == perf.SCHEMA_VERSION
+    assert summary["batch_size"] == perf.BATCH_SIZE
+    assert summary["workload"]["smoke"] is True
+    assert summary["workload"]["scalar_tau"] == TINY_TAU
+    for side in ("scalar", "batched"):
+        stats = summary[side]
+        assert stats["observations"] > 0
+        assert stats["wall_s"] > 0
+        assert stats["ms_per_obs"] > 0
+    # Matched observation budget: tau_scalar = B * tau_batched, one
+    # observation per iteration on both paths.
+    assert (
+        abs(summary["batched"]["observations"]
+            - summary["scalar"]["observations"])
+        <= 0.15 * summary["scalar"]["observations"]
+    )
+    assert summary["speedup"] > 0
+    # The record must be JSON-serializable as written (CI artifact).
+    json.dumps(summary)
+
+
+def test_run_perf_rejects_bad_repeats(tiny_perf):
+    with pytest.raises(ValueError, match="repeats"):
+        perf.run_perf(smoke=True, repeats=0)
+
+
+def test_check_summary_accepts_speedup():
+    assert perf.check_summary(_fabricated(2.0)) == []
+
+
+def test_check_summary_flags_slowdown():
+    failures = perf.check_summary(_fabricated(0.8))
+    assert len(failures) == 1
+    assert "slower than scalar" in failures[0]
+
+
+def test_check_summary_flags_zero_observations():
+    summary = _fabricated(2.0)
+    summary["scalar"]["observations"] = 0.0
+    failures = perf.check_summary(summary)
+    assert any("zero ReID observations" in f for f in failures)
+
+
+def test_append_trend_roundtrip(tmp_path):
+    trend = tmp_path / "trend.jsonl"
+    perf.append_trend(_fabricated(2.0), trend)
+    perf.append_trend(_fabricated(1.5), trend)
+    records = [json.loads(line) for line in trend.read_text().splitlines()]
+    assert [r["speedup"] for r in records] == [2.0, 1.5]
+    assert all(r["batch_size"] == perf.BATCH_SIZE for r in records)
+
+
+def test_format_summary_renders_both_variants():
+    text = perf.format_summary(_fabricated(2.0))
+    assert "TMerge (scalar)" in text
+    assert f"TMerge-B{perf.BATCH_SIZE}" in text
+    assert "2.00x" in text
+
+
+def test_cli_perf_passes_and_writes_outputs(tiny_perf, tmp_path, capsys):
+    out = tmp_path / "perf_summary.json"
+    trend = tmp_path / "trend.jsonl"
+    status = experiments_main([
+        "perf", "--smoke", "--repeats", "1",
+        "--output", str(out), "--trend", str(trend),
+    ])
+    captured = capsys.readouterr().out
+    summary = json.loads(out.read_text())
+    assert summary["schema"] == perf.SCHEMA_VERSION
+    assert len(trend.read_text().splitlines()) == 1
+    # The tiny workload is too noisy to promise a speedup, so accept
+    # either verdict — but the exit status must match the printed one.
+    if status == 0:
+        assert "bench-perf: OK" in captured
+    else:
+        assert "bench-perf: FAIL" in captured
+
+
+def test_cli_perf_fails_on_slowdown(tiny_perf, tmp_path, monkeypatch, capsys):
+    monkeypatch.setattr(perf, "run_perf",
+                        lambda smoke, repeats: _fabricated(0.5))
+    status = experiments_main(
+        ["perf", "--output", str(tmp_path / "s.json")]
+    )
+    assert status == 1
+    assert "bench-perf: FAIL" in capsys.readouterr().out

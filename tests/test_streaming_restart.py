@@ -10,6 +10,8 @@ simulation (fresh store reading the disk mirror), and worker-count
 changes across the crash.  Runs inside CI's chaos matrix.
 """
 
+import os
+
 import pytest
 
 from helpers import tiny_world
@@ -42,6 +44,9 @@ def _source(world, profile):
 
 
 def _service(store, *, seed=1, profile=None, workers=1):
+    # CI chaos-matrix seam: REPRO_BATCH_SIZE re-runs every restart test
+    # at a forced batch size (1 = scalar path, 8 = batched).
+    env_batch = os.environ.get("REPRO_BATCH_SIZE")
     return StreamingIngestionService(
         TracktorTracker(),
         TMerge(k=0.1, tau_max=100, batch_size=10, seed=3),
@@ -53,6 +58,7 @@ def _service(store, *, seed=1, profile=None, workers=1):
         parallel_backend="thread",
         fault_profile=profile,
         store=store,
+        batch_size=int(env_batch) if env_batch else None,
     )
 
 
