@@ -108,6 +108,11 @@ from repro.telemetry import (
     Tracer,
     profiled,
 )
+from repro.provenance import (
+    DecisionEvent,
+    DecisionLedger,
+    explain_pair,
+)
 
 __version__ = "1.0.0"
 
@@ -182,4 +187,7 @@ __all__ = [
     "Telemetry",
     "Tracer",
     "profiled",
+    "DecisionEvent",
+    "DecisionLedger",
+    "explain_pair",
 ]

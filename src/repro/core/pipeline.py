@@ -23,6 +23,7 @@ from repro.core.windows import Window, WindowedTracks, partition_windows
 from repro.detect import Detection, NoisyDetector
 from repro.faults.errors import WindowCrashError
 from repro.faults.profiles import FaultProfile
+from repro.provenance import EVENT_FAULT, DecisionLedger
 from repro.reid import CostModel, CostParams, ReidScorer, SimReIDModel
 from repro.resilience import (
     REID_UNAVAILABLE,
@@ -113,6 +114,32 @@ def merger_with_batch_size(merger: Merger, batch_size: int | None) -> Merger:
     return clone
 
 
+def merger_with_ledger(
+    merger: Merger, ledger: DecisionLedger | None
+) -> Merger:
+    """Shallow-copy ``merger`` with a decision ledger attached.
+
+    The run-level seam behind the pipeline/streaming ``ledger`` knobs,
+    mirroring :func:`merger_with_batch_size`: ``None`` leaves the merger
+    untouched; otherwise a shallow copy records into ``ledger`` (the
+    original merger is never mutated, and a configured checkpoint store
+    keeps being shared).
+
+    Raises:
+        TypeError: if the merger has no ``ledger`` attribute (e.g. the
+            BL baseline, which makes no sampling decisions to record).
+    """
+    if ledger is None:
+        return merger
+    if not hasattr(merger, "ledger"):
+        raise TypeError(
+            f"merger {merger.name!r} does not support a decision ledger"
+        )
+    clone = copy.copy(merger)
+    clone.ledger = ledger
+    return clone
+
+
 def run_resilient_window(
     merger: Merger,
     index: int,
@@ -146,6 +173,7 @@ def run_resilient_window(
 
     armed = crasher.arm(index) if crasher is not None else None
     checkpointed = getattr(merger, "checkpoint_store", None)
+    ledger = getattr(merger, "ledger", None)
 
     def attempt() -> MergeResult:
         if armed is not None and armed.fired and checkpointed is None:
@@ -169,11 +197,23 @@ def run_resilient_window(
         retry_on=(WindowCrashError,),
     )
     try:
-        return retry_call(attempt, policy, cost)
+        result = retry_call(attempt, policy, cost)
     except REID_UNAVAILABLE:
+        if ledger is not None:
+            ledger.record(EVENT_FAULT, reason="spatial_fallback")
         return spatial_fallback_result(
             merger, pairs, cost.seconds - window_start
         )
+    if ledger is not None and armed is not None and armed.fired:
+        # Recorded after the merge completes (never wiped by a mid-run
+        # ledger restore): this window's worker crashed and the retry
+        # either resumed from a checkpoint or restarted from scratch.
+        ledger.record(
+            EVENT_FAULT,
+            reason="window_crash",
+            resumed=checkpointed is not None,
+        )
+    return result
 
 
 @dataclass
@@ -294,6 +334,15 @@ class IngestionPipeline:
             sampling path; ``B > 1`` runs the batched §IV-F variant.
             The merger itself is never mutated — each run works on a
             configured copy.
+        ledger: optional injected
+            :class:`~repro.provenance.DecisionLedger`.  When set, the
+            run's merger records one decision event per TMerge
+            iteration, ULB pass, degradation and fault intervention,
+            stamped with the owning window index (serial path: the
+            shared ledger follows the window loop; ``workers`` path:
+            per-window worker ledgers are absorbed in window-index
+            order).  Pure observation — results are bit-identical with
+            it on or off (``tests/test_provenance_equivalence.py``).
     """
 
     tracker: Tracker
@@ -311,10 +360,17 @@ class IngestionPipeline:
     workers: int | None = None
     parallel_backend: str = "process"
     batch_size: int | None = None
+    ledger: DecisionLedger | None = None
 
     def _effective_merger(self) -> Merger:
-        """The merger this run executes (honouring the batch override)."""
-        return merger_with_batch_size(self.merger, self.batch_size)
+        """The merger this run executes (batch + ledger overrides)."""
+        merger = merger_with_batch_size(self.merger, self.batch_size)
+        if self.workers is None:
+            # Serial path: the shared run ledger records in-process.
+            # The workers path ships per-window ledgers instead (the
+            # prototype crossing the pool seam must stay detached).
+            merger = merger_with_ledger(merger, self.ledger)
+        return merger
 
     def _resilience(self) -> ResilienceConfig | None:
         """The effective resilience config (auto-on under a fault profile)."""
@@ -414,6 +470,8 @@ class IngestionPipeline:
                     if telemetry is not None
                     else nullcontext()
                 )
+                if self.ledger is not None:
+                    self.ledger.begin_window(c)
                 with window_span:
                     if pairs:
                         result = self._run_window(
@@ -439,6 +497,10 @@ class IngestionPipeline:
                             )
                         )
                 if telemetry is not None:
+                    telemetry.observe(
+                        "window.merge_ms",
+                        window_results[-1].simulated_seconds * 1000.0,
+                    )
                     window_metrics.append(
                         MetricsRegistry.delta(
                             telemetry.metrics.counters_snapshot(), before
@@ -532,6 +594,7 @@ class IngestionPipeline:
                 n_workers=self.workers,
                 backend=self.parallel_backend,
                 telemetry=telemetry,
+                ledger=self.ledger,
             )
         if telemetry is not None:
             telemetry.bind_clock(run.cost)

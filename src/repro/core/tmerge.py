@@ -35,6 +35,13 @@ from repro.core.beta_init import beta_init
 from repro.core.pairs import TrackPair
 from repro.core.results import MergeResult, top_k_count
 from repro.core.ulb import UlbPruner
+from repro.provenance import (
+    EVENT_DEGRADE,
+    EVENT_FINAL,
+    EVENT_SAMPLE,
+    EVENT_WINDOW,
+    DecisionLedger,
+)
 from repro.reid import ReidScorer
 from repro.resilience import (
     REID_UNAVAILABLE,
@@ -52,7 +59,11 @@ _POSTERIORS = ("beta", "gaussian")
 #: ``version`` key) predates the vectorized sampler and never recorded the
 #: batch size; v2 records both so a resume with a mismatched ``batch_size``
 #: fails loudly instead of silently diverging from the interrupted run.
-CHECKPOINT_VERSION = 2
+#: v3 adds the decision ledger's state (``"ledger"``, ``None`` when the
+#: run records no provenance), so a kill+resume reconstructs the decision
+#: log bit-exactly; v1/v2 payloads still load when no ledger is attached
+#: (see :meth:`TMerge._check_checkpoint_compat`).
+CHECKPOINT_VERSION = 3
 
 #: Gaussian-posterior prior variance.  0.25 is the largest variance any
 #: [0, 1]-supported distribution can have (a fair coin's), so the prior is
@@ -110,6 +121,15 @@ class TMerge:
             without any extra plumbing.  Telemetry never touches the RNG
             or the simulated clock: results are bit-identical with it on
             or off.
+        ledger: optional injected
+            :class:`~repro.provenance.DecisionLedger` recording one
+            decision event per iteration, ULB pass and degradation
+            (DESIGN.md §14).  Like telemetry it is pure observation —
+            recording never consumes the RNG stream or touches the
+            simulated clock, so ledger-enabled runs are bit-identical
+            to plain ones.  The ledger state rides inside checkpoints
+            (schema v3), so a killed-and-resumed window reconstructs
+            its decision log bit-exactly.
     """
 
     def __init__(
@@ -127,6 +147,7 @@ class TMerge:
         checkpoint_interval: int | None = None,
         checkpoint_store: CheckpointStore | None = None,
         telemetry: Telemetry | None = None,
+        ledger: DecisionLedger | None = None,
     ) -> None:
         if not 0.0 <= k <= 1.0:
             raise ValueError("k must be in [0, 1]")
@@ -157,6 +178,7 @@ class TMerge:
         self.checkpoint_interval = checkpoint_interval
         self.checkpoint_store = checkpoint_store
         self.telemetry = telemetry
+        self.ledger = ledger
 
     @property
     def name(self) -> str:
@@ -234,12 +256,14 @@ class TMerge:
         sums = np.zeros(n)
         counts = np.zeros(n, dtype=np.int64)
         eligible = np.array([p.n_bbox_pairs > 0 for p in pairs])
+        ledger = self.ledger
         pruner = (
             UlbPruner(
                 n,
                 budget,
                 radius_scale=self.ulb_scale,
                 telemetry=telemetry,
+                ledger=ledger,
             )
             if self.use_ulb
             else None
@@ -247,6 +271,34 @@ class TMerge:
         regret = RegretTracker(self.s_min) if self.s_min is not None else None
 
         window_key = [list(pair.key) for pair in pairs]
+        if ledger is not None:
+            # Recorded *before* any checkpoint restore: a resume's
+            # ledger.load_state_dict overwrites this re-recorded event
+            # with the snapshot's log, so crash-retry never duplicates.
+            ledger.record(
+                EVENT_WINDOW,
+                pairs=window_key,
+                n_pairs=n,
+                budget=budget,
+                batch=self._effective_batch,
+                posterior=self.posterior,
+                seed=self.seed,
+            )
+
+        def posterior_rows(arms: np.ndarray) -> list[list[float]]:
+            # Snapshot of the recorded arms' posterior state ([alpha,
+            # beta] or [mean, var]); reads current bindings, so it sees
+            # restored state after a resume.
+            if self.posterior == "beta":
+                return [
+                    [float(successes[int(a)]), float(failures[int(a)])]
+                    for a in arms
+                ]
+            return [
+                [float(gauss_mean[int(a)]), float(gauss_var[int(a)])]
+                for a in arms
+            ]
+
         tau0 = 0
         iterations = 0
         if self.checkpoint_store is not None:
@@ -271,6 +323,8 @@ class TMerge:
                     regret.load_state_dict(saved["regret"])
                 restore_generator_state(rng, saved["rng"])
                 restore_scorer_state(scorer, saved["scorer"])
+                if ledger is not None and saved.get("ledger") is not None:
+                    ledger.load_state_dict(saved["ledger"])
             else:
                 # τ=0 snapshot: even a crash before the first interval
                 # rewinds clock, cache and RNGs to the window start.
@@ -289,7 +343,7 @@ class TMerge:
             if live.size == 0:
                 break
 
-            selected = self._select_arms(
+            selected, theta_sel = self._select_arms(
                 live, successes, failures, gauss_mean, gauss_var, rng
             )
             if telemetry is not None:
@@ -303,7 +357,14 @@ class TMerge:
                 degraded = True
                 if telemetry is not None:
                     telemetry.count("tmerge.degraded_windows")
+                if ledger is not None:
+                    ledger.record(
+                        EVENT_DEGRADE, tau=tau, reason="reid_unavailable"
+                    )
                 break
+            post_before = (
+                posterior_rows(owners) if ledger is not None else None
+            )
 
             # Vectorized posterior update.  Owners are distinct arms (one
             # draw per selected live arm), so fancy-index scatter adds are
@@ -337,6 +398,17 @@ class TMerge:
                     count=owners.size,
                 )
                 eligible[owners[exhausted]] = False
+            if ledger is not None:
+                ledger.record(
+                    EVENT_SAMPLE,
+                    tau=tau,
+                    arms=[int(a) for a in selected],
+                    theta=[float(t) for t in theta_sel],
+                    observed=[int(a) for a in owners],
+                    d_norm=[float(d) for d in d_norms],
+                    posterior_before=post_before,
+                    posterior_after=posterior_rows(owners),
+                )
 
             scorer.cost.charge_overhead(1)
             iterations = tau
@@ -420,6 +492,9 @@ class TMerge:
             "regret": regret.state_dict() if regret is not None else None,
             "rng": encode_generator_state(rng),
             "scorer": capture_scorer_state(scorer),
+            "ledger": (
+                self.ledger.state_dict() if self.ledger is not None else None
+            ),
         }
 
     def _check_checkpoint_compat(self, saved: dict) -> None:
@@ -432,12 +507,26 @@ class TMerge:
         ``1`` are the same scalar algorithm), and a resume must use the
         same one: a different batch consumes the RNG stream differently,
         so continuing would silently diverge from the interrupted run.
+        v3 payloads additionally carry the decision-ledger state; older
+        payloads (and v3 payloads written without a ledger) refuse to
+        resume into a ledger-attached run, because the pre-crash decision
+        events would be silently missing from the reconstructed log.
+        Merge *results* never depend on the ledger, so payloads carrying
+        ledger state load fine into ledger-free runs (the state is just
+        ignored).
         """
         version = int(saved.get("version", 1))
         if version > CHECKPOINT_VERSION:
             raise ValueError(
                 f"checkpoint version {version} is newer than this "
                 f"TMerge build supports ({CHECKPOINT_VERSION})"
+            )
+        if self.ledger is not None and saved.get("ledger") is None:
+            raise ValueError(
+                f"checkpoint (version {version}) carries no decision-"
+                "ledger state; resuming it with a ledger attached would "
+                "silently drop every pre-crash decision event — resume "
+                "without a ledger, or re-run from scratch"
             )
         if version == 1:
             if self._effective_batch is not None:
@@ -464,12 +553,15 @@ class TMerge:
         gauss_mean: np.ndarray,
         gauss_var: np.ndarray,
         rng: np.random.Generator,
-    ) -> np.ndarray:
-        """Thompson-sample all live arms; return the chosen arm indices.
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Thompson-sample all live arms; return the chosen arms + draws.
 
         One vectorized posterior draw covers every live arm.  The scalar
         path takes the arg-min; the batched path takes the B smallest θ
         via argpartition (O(n) instead of a full sort), ordered by θ.
+        Returns ``(arm_indices, theta_values)`` as parallel arrays — the
+        θ values are a pure read-out of draws already made (the ledger
+        records them without consuming any extra RNG).
         """
         if self.posterior == "beta":
             theta = rng.beta(successes[live], failures[live])
@@ -479,11 +571,12 @@ class TMerge:
             )
         batch = self._effective_batch
         if batch is None:
-            return live[np.argmin(theta)].reshape(1)
+            best = int(np.argmin(theta))
+            return live[best].reshape(1), theta[best].reshape(1)
         take = min(batch, live.size)
         order = np.argpartition(theta, take - 1)[:take]
         order = order[np.argsort(theta[order])]
-        return live[order]
+        return live[order], theta[order]
 
     def _evaluate(
         self,
@@ -592,6 +685,18 @@ class TMerge:
         if regret is not None:
             extra["average_regret"] = regret.average
             extra["cumulative_regret"] = regret.cumulative
+
+        if self.ledger is not None:
+            self.ledger.record(
+                EVENT_FINAL,
+                chosen=[int(i) for i in chosen],
+                means=[float(m) for m in posterior_means],
+                ulb_accepted=sorted(int(a) for a in accepted),
+                ulb_rejected=sorted(int(a) for a in rejected),
+                n_pairs=len(pairs),
+                iterations=int(iterations),
+                degraded=bool(degraded),
+            )
 
         return MergeResult(
             method=self.name,

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro import contracts
 from repro.bandit.confidence import hoeffding_radii
+from repro.provenance import EVENT_ULB, DecisionLedger
 from repro.telemetry import Telemetry
 
 
@@ -36,6 +37,11 @@ class UlbPruner:
         telemetry: optional injected :class:`~repro.telemetry.Telemetry`
             mirroring prune verdicts into the ``ulb.passes`` /
             ``ulb.accepted`` / ``ulb.rejected`` counters.
+        ledger: optional injected
+            :class:`~repro.provenance.DecisionLedger` recording one
+            ``ulb`` event per pass that changed the partition (newly
+            accepted/rejected arms with the Hoeffding radii in force).
+            Pure observation — never affects pruning decisions.
     """
 
     def __init__(
@@ -44,6 +50,7 @@ class UlbPruner:
         k_count: int,
         radius_scale: float = 1.0,
         telemetry: Telemetry | None = None,
+        ledger: DecisionLedger | None = None,
     ) -> None:
         if n_arms < 0:
             raise ValueError("n_arms must be non-negative")
@@ -55,6 +62,7 @@ class UlbPruner:
         self.k_count = k_count
         self.radius_scale = radius_scale
         self.telemetry = telemetry
+        self.ledger = ledger
         self.accepted: set[int] = set()
         self.rejected: set[int] = set()
         #: Non-finite running means clamped by :meth:`update` (only ever
@@ -161,6 +169,16 @@ class UlbPruner:
 
         self.accepted |= newly_accepted
         self.rejected |= newly_rejected
+        if self.ledger is not None and (newly_accepted or newly_rejected):
+            changed = sorted(newly_accepted | newly_rejected)
+            self.ledger.record(
+                EVENT_ULB,
+                tau=int(total_rounds),
+                accepted=sorted(newly_accepted),
+                rejected=sorted(newly_rejected),
+                radius={str(arm): float(radii[arm]) for arm in changed},
+                k_count=self.k_count,
+            )
         if self.telemetry is not None:
             self.telemetry.count("ulb.passes")
             if newly_accepted:

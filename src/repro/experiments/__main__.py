@@ -10,6 +10,10 @@ Usage::
     python -m repro.experiments parallel --workers 4    # speedup report
     python -m repro.experiments serve --frames 600      # streaming service
     python -m repro.experiments serve --kill-after 2    # kill + resume demo
+    python -m repro.experiments serve --ledger-out ledger.jsonl \\
+        --metrics-out metrics.txt                       # observed session
+    python -m repro.experiments explain --ledger ledger.jsonl --pair 3 7
+    python -m repro.experiments monitor --frames 600    # live dashboard
     python -m repro.experiments gate --current benchmarks/results/bench_summary.json
     python -m repro.experiments perf --smoke      # batched hot-path check
     python -m repro.experiments list              # show available figures
@@ -332,6 +336,7 @@ def run_serve(args) -> str:
     """
     from repro.core.tmerge import TMerge
     from repro.faults import fault_profile
+    from repro.provenance import DecisionLedger
     from repro.resilience import CheckpointStore
     from repro.streaming import (
         BackpressurePolicy,
@@ -340,6 +345,7 @@ def run_serve(args) -> str:
     )
     from repro.synth.datasets import preset_by_name
     from repro.synth.world import simulate_world
+    from repro.telemetry import Telemetry, render_openmetrics
     from repro.track.tracktor import TracktorTracker
 
     world = simulate_world(
@@ -361,8 +367,12 @@ def run_serve(args) -> str:
         capacity=args.queue_capacity,
         latency_slo_ms=args.latency_slo,
     )
+    ledger = DecisionLedger() if args.ledger_out else None
+    telemetry = Telemetry() if args.metrics_out else None
 
-    def service(store: CheckpointStore) -> StreamingIngestionService:
+    def service(
+        store: CheckpointStore, observed: bool = True
+    ) -> StreamingIngestionService:
         return StreamingIngestionService(
             TracktorTracker(),
             TMerge(k=0.05, tau_max=400, batch_size=10, seed=3),
@@ -374,11 +384,16 @@ def run_serve(args) -> str:
             parallel_backend=args.parallel_backend,
             fault_profile=profile,
             store=store,
+            telemetry=telemetry if observed else None,
+            ledger=ledger if observed else None,
         )
 
     notes = []
     if args.kill_after is not None:
-        reference = service(CheckpointStore()).run(source)
+        # The uninterrupted reference stays unobserved: the exported
+        # ledger/metrics must describe the actual (killed + resumed)
+        # session, not a doubled recording.
+        reference = service(CheckpointStore(), observed=False).run(source)
         store = CheckpointStore()
         first = service(store).run(
             source, stop_after_windows=args.kill_after
@@ -431,7 +446,134 @@ def run_serve(args) -> str:
         f"peak open windows: {peak} (bound {args.max_open_windows}); "
         f"{counter_text}"
     )
+    if ledger is not None:
+        ledger.export_jsonl(args.ledger_out)
+        notes.append(
+            f"decision ledger: {len(ledger)} events -> {args.ledger_out}"
+        )
+    if telemetry is not None:
+        Path(args.metrics_out).write_text(
+            render_openmetrics(telemetry.metrics)
+        )
+        notes.append(f"OpenMetrics snapshot -> {args.metrics_out}")
     return "\n".join([table, "", footer] + notes)
+
+
+def run_explain(args) -> int:
+    """Reconstruct one pair's decision chain from a ledger export.
+
+    Reads a JSONL ledger (``serve --ledger-out`` or
+    :meth:`~repro.provenance.DecisionLedger.export_jsonl`), finds the
+    requested track pair and prints every recorded decision that touched
+    it — Thompson draws with posterior before/after, ULB accept/reject
+    verdicts with the Hoeffding radii in force, degradations, faults and
+    the final selection — ending in the pair's verdict.
+    """
+    from repro.provenance import (
+        explain_pair,
+        load_events_jsonl,
+        windows_containing,
+    )
+
+    events = load_events_jsonl(args.ledger)
+    pair = (args.pair[0], args.pair[1])
+    label = f"{pair[0]}-{pair[1]}"
+    try:
+        chain = explain_pair(events, pair, window=args.window)
+    except KeyError:
+        print(f"pair {label} not found in {args.ledger}", file=sys.stderr)
+        return 1
+    except ValueError:
+        windows = windows_containing(events, pair)
+        print(
+            f"pair {label} appears in windows {windows}; "
+            "disambiguate with --window",
+            file=sys.stderr,
+        )
+        return 1
+    print(chain.render())
+    return 0
+
+
+def run_monitor(args) -> int:
+    """Live-monitor a streaming session, one frame per window emission.
+
+    Runs the same synthetic feed as ``serve`` but drives the service
+    through checkpoint/resume cycles — one per window — rendering a
+    dashboard frame after each emission: watermark and queue gauges,
+    merge-latency percentiles, the window's merge decisions from the
+    ledger, and the lifetime counters.  What it shows is exactly the
+    state a crashed-and-restarted service would rebuild.
+    """
+    from repro.core.tmerge import TMerge
+    from repro.experiments.monitor import monitor_steps
+    from repro.faults import fault_profile
+    from repro.provenance import DecisionLedger
+    from repro.resilience import CheckpointStore
+    from repro.streaming import (
+        BackpressurePolicy,
+        StreamingIngestionService,
+        SyntheticFeedSource,
+    )
+    from repro.synth.datasets import preset_by_name
+    from repro.synth.world import simulate_world
+    from repro.telemetry import Telemetry
+    from repro.track.tracktor import TracktorTracker
+
+    world = simulate_world(
+        preset_by_name("mot17").config, args.frames, seed=0
+    )
+    profile = (
+        fault_profile(args.profile, seed=args.fault_seed)
+        if args.profile
+        else None
+    )
+    source = SyntheticFeedSource(
+        world,
+        disorder_ms=args.disorder_ms,
+        disorder_seed=3,
+        fault_profile=profile,
+    )
+    policy = BackpressurePolicy(
+        mode=args.policy,
+        capacity=args.queue_capacity,
+        latency_slo_ms=args.latency_slo,
+    )
+    store = CheckpointStore()
+    telemetry = Telemetry()
+    ledger = DecisionLedger()
+
+    def make_service() -> StreamingIngestionService:
+        return StreamingIngestionService(
+            TracktorTracker(),
+            TMerge(k=0.05, tau_max=400, batch_size=10, seed=3),
+            window_length=args.window_length,
+            allowed_lateness=args.lateness,
+            max_open_windows=args.max_open_windows,
+            policy=policy,
+            workers=args.workers or 1,
+            parallel_backend=args.parallel_backend,
+            fault_profile=profile,
+            store=store,
+            telemetry=telemetry,
+            ledger=ledger,
+        )
+
+    steps = monitor_steps(
+        make_service,
+        source,
+        registry=telemetry.metrics,
+        ledger=ledger,
+        max_steps=args.steps,
+    )
+    last = None
+    for step in steps:
+        print(step.frame)
+        print()
+        last = step
+    if last is not None and last.done:
+        print(f"feed exhausted after {last.step} window(s)")
+    return 0
 
 
 def run_gate(args) -> int:
@@ -533,8 +675,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "figure",
-        choices=sorted(_RUNNERS) + ["gate", "perf", "list"],
-        help="which figure to regenerate (or: telemetry, gate, perf, list)",
+        choices=sorted(_RUNNERS) + [
+            "explain", "gate", "monitor", "perf", "list",
+        ],
+        help="which figure to regenerate (or: telemetry, explain, "
+        "monitor, gate, perf, list)",
     )
     parser.add_argument(
         "--videos",
@@ -634,6 +779,45 @@ def main(argv: list[str] | None = None) -> int:
         "from its checkpoint and verify bit-identity (serve only)",
     )
     parser.add_argument(
+        "--ledger-out",
+        default=None,
+        help="export the session's decision ledger as JSONL to this "
+        "path (serve only)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write an OpenMetrics snapshot of the session's metrics "
+        "to this path (serve only)",
+    )
+    parser.add_argument(
+        "--ledger",
+        default=None,
+        help="JSONL ledger export to read (explain only)",
+    )
+    parser.add_argument(
+        "--pair",
+        nargs=2,
+        type=int,
+        metavar=("A", "B"),
+        default=None,
+        help="track ids of the pair to explain (explain only)",
+    )
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        help="window index, when the pair appears in several "
+        "(explain only)",
+    )
+    parser.add_argument(
+        "--steps",
+        type=int,
+        default=None,
+        help="stop the monitor after N window emissions "
+        "(monitor only, default: run the feed dry)",
+    )
+    parser.add_argument(
         "--current",
         default="benchmarks/results/bench_summary.json",
         help="summary produced by this run (gate only)",
@@ -672,12 +856,23 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
     if args.figure == "list":
-        print("available:", ", ".join(sorted(_RUNNERS) + ["gate", "perf"]))
+        print(
+            "available:",
+            ", ".join(
+                sorted(_RUNNERS) + ["explain", "gate", "monitor", "perf"]
+            ),
+        )
         return 0
     if args.figure == "gate":
         return run_gate(args)
     if args.figure == "perf":
         return run_perf(args)
+    if args.figure == "explain":
+        if args.ledger is None or args.pair is None:
+            parser.error("explain requires --ledger and --pair A B")
+        return run_explain(args)
+    if args.figure == "monitor":
+        return run_monitor(args)
     print(_RUNNERS[args.figure](args))
     return 0
 

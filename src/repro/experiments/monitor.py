@@ -1,0 +1,182 @@
+"""Terminal dashboard for a live streaming-ingestion session.
+
+The ``python -m repro.experiments monitor`` command drives a
+:class:`~repro.streaming.StreamingIngestionService` one window emission
+at a time — each step stops the service at the next window boundary
+(the same simulated-SIGKILL seam the restart tests use), resumes it
+from its own checkpoint, and renders a dashboard frame from the
+injected telemetry registry and decision ledger.  Because every step is
+a genuine checkpoint/resume cycle, what the monitor shows is exactly
+the state a crashed-and-restarted service would rebuild.
+
+Everything here is pure rendering: :func:`render_frame` maps
+``(result, registry, ledger, step)`` to a string, and :func:`monitor_steps`
+is a generator the CLI iterates.  No printing happens in this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.provenance import EVENT_FINAL, DecisionLedger
+from repro.streaming.events import SyntheticFeedSource
+from repro.streaming.service import (
+    StreamingIngestionService,
+    StreamRunResult,
+)
+from repro.telemetry import MetricsRegistry
+
+#: Gauges shown in the header line, in display order.
+_HEADER_GAUGES = (
+    ("watermark", "stream.watermark"),
+    ("lag ms", "stream.watermark_lag_ms"),
+    ("queue", "stream.queue_depth"),
+    ("open", "stream.open_windows"),
+)
+
+#: Histograms summarised per frame (p50/p95/p99), in display order.
+_LATENCY_HISTOGRAMS = ("stream.merge_latency_ms", "stream.emit_lag_ms")
+
+
+@dataclass
+class MonitorStep:
+    """One dashboard step: the emission it covers plus rendered text.
+
+    Attributes:
+        step: 1-based step count (one step per window emission).
+        result: the service's :class:`StreamRunResult` for this step
+            (its ``emissions`` list holds exactly the windows emitted by
+            this resume cycle — normally one).
+        frame: the rendered dashboard text for this step.
+        done: ``True`` when the feed is exhausted (final step).
+    """
+
+    step: int
+    result: StreamRunResult
+    frame: str
+    done: bool
+
+
+def _fmt(value: float) -> str:
+    """Compact numeric formatting for dashboard cells."""
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.1f}"
+
+
+def render_frame(
+    result: StreamRunResult,
+    registry: MetricsRegistry | None,
+    ledger: DecisionLedger | None,
+    step: int,
+    done: bool,
+) -> str:
+    """Render one dashboard frame as plain text.
+
+    Pure function of its inputs — the CLI owns the printing, the tests
+    assert on the returned string.
+    """
+    lines: list[str] = []
+    status = "feed exhausted" if done else "running"
+    lines.append(f"-- step {step} [{status}] " + "-" * 28)
+    if registry is not None:
+        gauges = registry.gauges_snapshot()
+        header = "  ".join(
+            f"{label}={_fmt(gauges[name])}"
+            for label, name in _HEADER_GAUGES
+            if name in gauges
+        )
+        if header:
+            lines.append(header)
+    for emission in result.emissions:
+        lines.append(
+            f"window {emission.index} "
+            f"[{emission.window.start}:{emission.window.end}] "
+            f"tracks={emission.n_tracks} pairs={emission.result.n_pairs} "
+            f"candidates={len(emission.result.candidates)}"
+            + (" DEGRADED" if emission.result.degraded else "")
+            + f" lag={emission.lag_ms:.1f}ms"
+        )
+        if ledger is not None:
+            for event in ledger.events_for_window(emission.index):
+                if event.kind != EVENT_FINAL:
+                    continue
+                lines.append(
+                    f"  decisions: {len(event.data['chosen'])} chosen, "
+                    f"{len(event.data['ulb_accepted'])} ULB-accepted, "
+                    f"{len(event.data['ulb_rejected'])} ULB-rejected "
+                    f"in {event.data['iterations']} iterations"
+                )
+    if registry is not None:
+        histograms = registry.histograms()
+        for name in _LATENCY_HISTOGRAMS:
+            if name not in histograms:
+                continue
+            histogram = histograms[name]
+            lines.append(
+                f"{name}: p50={histogram.percentile(0.50):.2f} "
+                f"p95={histogram.percentile(0.95):.2f} "
+                f"p99={histogram.percentile(0.99):.2f} "
+                f"(n={histogram.count})"
+            )
+    interesting = {
+        name: value
+        for name, value in sorted(result.counters.items())
+        if value
+    }
+    if interesting:
+        lines.append(
+            "counters: "
+            + ", ".join(
+                f"{name.removeprefix('stream.')}={value:g}"
+                for name, value in interesting.items()
+            )
+        )
+    if ledger is not None:
+        lines.append(
+            f"ledger: {len(ledger)} events "
+            f"({ledger.n_recorded} recorded, {ledger.n_dropped} dropped)"
+        )
+    return "\n".join(lines)
+
+
+def monitor_steps(
+    make_service: Callable[[], StreamingIngestionService],
+    source: SyntheticFeedSource,
+    *,
+    registry: MetricsRegistry | None = None,
+    ledger: DecisionLedger | None = None,
+    max_steps: int | None = None,
+) -> Iterator[MonitorStep]:
+    """Drive a service one window at a time, yielding dashboard steps.
+
+    Each iteration builds a service via ``make_service`` (which must
+    attach the shared checkpoint store — and the shared telemetry /
+    ledger when observability is on), runs it with
+    ``stop_after_windows=1`` so it checkpoints and halts at the next
+    window boundary, and yields the rendered frame.  The generator ends
+    when the feed is exhausted or after ``max_steps`` windows.
+
+    Args:
+        make_service: factory for the (re)built service; called once
+            per step, mirroring a real restart each time.
+        source: the event feed (offsets are tracked in the checkpoint).
+        registry: the metrics registry shared by every built service.
+        ledger: the decision ledger shared by every built service.
+        max_steps: stop after this many windows (``None`` = run dry).
+    """
+    step = 0
+    while True:
+        service = make_service()
+        result = service.run(source, stop_after_windows=1)
+        step += 1
+        done = not result.stopped
+        yield MonitorStep(
+            step=step,
+            result=result,
+            frame=render_frame(result, registry, ledger, step, done),
+            done=done,
+        )
+        if done or (max_steps is not None and step >= max_steps):
+            return

@@ -5,7 +5,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.core.pipeline import Merger, run_resilient_window
+from repro.core.pipeline import (
+    Merger,
+    merger_with_ledger,
+    run_resilient_window,
+)
+from repro.provenance import DecisionLedger
 from repro.experiments.prep import PreparedVideo
 from repro.faults.profiles import FaultProfile
 from repro.metrics.recall import window_recall
@@ -51,6 +56,7 @@ def evaluate_merger(
     fault_profile: FaultProfile | None = None,
     resilience: ResilienceConfig | None = None,
     telemetry: Telemetry | None = None,
+    ledger: DecisionLedger | None = None,
     workers: int | None = None,
     parallel_backend: str = "process",
 ) -> MethodPoint:
@@ -75,6 +81,13 @@ def evaluate_merger(
             shared across all videos of the evaluation (counters, spans,
             hotspots).  Purely observational: results are bit-identical
             with it on or off.
+        ledger: optional injected
+            :class:`~repro.provenance.DecisionLedger` shared across all
+            videos (window stamps restart at 0 per video).  Purely
+            observational like ``telemetry`` — results are bit-identical
+            with it on or off (``benchmarks/test_ledger_overhead.py``
+            measures the wall-clock price and asserts the zero
+            simulated-clock price).
         workers: ``None`` (default) keeps the serial per-video loop;
             an integer routes every video through the window-sharded
             engine (:func:`repro.parallel.run_windows`) with that many
@@ -96,6 +109,7 @@ def evaluate_merger(
             fault_profile=fault_profile,
             resilience=resilience,
             telemetry=telemetry,
+            ledger=ledger,
             workers=workers,
             parallel_backend=parallel_backend,
         )
@@ -107,7 +121,7 @@ def evaluate_merger(
     method = ""
     for video in videos:
         video.reset_sampling()
-        merger = factory()
+        merger = merger_with_ledger(factory(), ledger)
         method = merger.name
         from repro.reid import CostModel  # local import to avoid cycle noise
 
@@ -142,6 +156,8 @@ def evaluate_merger(
         ):
             if not pairs:
                 continue
+            if ledger is not None:
+                ledger.begin_window(index)
             result = run_resilient_window(
                 merger, index, pairs, scorer, cost, resilience, crasher
             )
@@ -176,6 +192,7 @@ def _evaluate_merger_sharded(
     fault_profile: FaultProfile | None,
     resilience: ResilienceConfig | None,
     telemetry: Telemetry | None,
+    ledger: DecisionLedger | None,
     workers: int,
     parallel_backend: str,
 ) -> MethodPoint:
@@ -210,6 +227,7 @@ def _evaluate_merger_sharded(
             n_workers=workers,
             backend=parallel_backend,
             telemetry=telemetry,
+            ledger=ledger,
         )
         for pairs, result, gt_keys in zip(
             video.window_pairs, run.window_results, video.window_gt

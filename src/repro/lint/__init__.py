@@ -18,6 +18,8 @@ enforcing the invariants the reproduction's correctness rests on:
   ``repro.resilience`` so backoff lands on the simulated clock.
 * **REPRO010** — telemetry is injected; no module-level ``Telemetry()``
   / registry singletons.
+* **REPRO011** — decision ledgers are injected; no module-level
+  ``DecisionLedger()`` singletons.
 
 Run it with ``python -m repro.lint src tests benchmarks`` (non-zero exit
 on violations), or programmatically via :func:`lint_paths` /

@@ -803,7 +803,20 @@ _TELEMETRY_TYPES = frozenset(
 
 
 class InjectedTelemetryRule(Rule):
-    """REPRO010 — telemetry is injected, never a module-level singleton."""
+    """REPRO010 — telemetry is injected, never a module-level singleton.
+
+    The scanning machinery is shared with REPRO011
+    (:class:`InjectedLedgerRule`): subclasses override
+    :attr:`banned_types`, :attr:`home_subpackage` and :attr:`noun` to ban
+    import-time construction of a different injected-observer family.
+    """
+
+    #: Observer types whose import-time construction the rule bans.
+    banned_types: frozenset[str] = _TELEMETRY_TYPES
+    #: The subpackage that legitimately defines those types (exempt).
+    home_subpackage = "telemetry"
+    #: How the diagnostic names the observer family.
+    noun = "telemetry"
 
     rule_id = "REPRO010"
     title = "telemetry must be injected (no module-level singletons)"
@@ -837,8 +850,8 @@ class InjectedTelemetryRule(Rule):
     )
 
     def applies_to(self, ctx: FileContext) -> bool:
-        """Library code, except the telemetry package itself."""
-        return ctx.is_library and ctx.subpackage != "telemetry"
+        """Library code, except the observer family's own package."""
+        return ctx.is_library and ctx.subpackage != self.home_subpackage
 
     @staticmethod
     def _called_name(func: ast.expr) -> str | None:
@@ -865,15 +878,16 @@ class InjectedTelemetryRule(Rule):
             return
         if (
             isinstance(node, ast.Call)
-            and self._called_name(node.func) in _TELEMETRY_TYPES
+            and self._called_name(node.func) in self.banned_types
         ):
             out.append(
                 self.violation(
                     ctx,
                     node,
                     f"`{self._called_name(node.func)}()` constructed at "
-                    "import time; construct telemetry in the run owner "
-                    "and inject it through constructors (REPRO010)",
+                    f"import time; construct {self.noun} in the run "
+                    "owner and inject it through constructors "
+                    f"({self.rule_id})",
                 )
             )
         for child in ast.iter_child_nodes(node):
@@ -885,6 +899,51 @@ class InjectedTelemetryRule(Rule):
         for stmt in tree.body:
             self._scan(stmt, ctx, violations)
         return violations
+
+
+#: Provenance types whose import-time construction REPRO011 bans.
+_PROVENANCE_TYPES = frozenset({"DecisionLedger"})
+
+
+class InjectedLedgerRule(InjectedTelemetryRule):
+    """REPRO011 — decision ledgers are injected, never module singletons."""
+
+    banned_types = _PROVENANCE_TYPES
+    home_subpackage = "provenance"
+    noun = "the decision ledger"
+
+    rule_id = "REPRO011"
+    title = "decision ledgers must be injected (no module-level singletons)"
+    rationale = (
+        "A module-level `DecisionLedger()` is ambient global state with "
+        "sharper teeth than a telemetry singleton: the ledger rides in "
+        "checkpoints, so two runs recording into one shared ledger "
+        "corrupt each other's provenance *and* each other's resume "
+        "state.  The owner of a run constructs one ledger and injects "
+        "it down through constructors (`TMerge(ledger=...)`, "
+        "`IngestionPipeline(ledger=...)`, ...); components accept "
+        "`ledger=None` and skip recording, which keeps the unobserved "
+        "path bit-identical."
+    )
+    violating_example = textwrap.dedent(
+        """\
+        \"\"\"Fixture.\"\"\"
+        from repro.provenance import DecisionLedger
+
+        LEDGER = DecisionLedger()
+        """
+    )
+    clean_example = textwrap.dedent(
+        '''\
+        """Fixture."""
+        from repro.provenance import DecisionLedger
+
+
+        def build_run_ledger() -> DecisionLedger:
+            """Construct the run-scoped ledger an owner injects down."""
+            return DecisionLedger()
+        '''
+    )
 
 
 #: Every shipped rule, in rule-id order.  The engine and the tests iterate
@@ -900,6 +959,7 @@ ALL_RULES: tuple[Rule, ...] = (
     AllExportsResolveRule(),
     NoHandRolledRetryRule(),
     InjectedTelemetryRule(),
+    InjectedLedgerRule(),
 )
 
 RULES_BY_ID: dict[str, Rule] = {rule.rule_id: rule for rule in ALL_RULES}

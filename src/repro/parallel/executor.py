@@ -53,6 +53,7 @@ from repro.core.pipeline import Merger, run_resilient_window
 from repro.core.results import MergeResult
 from repro.faults.profiles import FaultProfile
 from repro.parallel.planner import ShardPlan, ShardPlanner, window_seeds
+from repro.provenance import DecisionLedger
 from repro.reid import CostModel, CostParams, ReidScorer, SimReIDModel
 from repro.resilience import ResilienceConfig, ResilientReidScorer
 from repro.synth.world import VideoGroundTruth
@@ -93,6 +94,8 @@ class ShardTask:
         fault_profile: optional chaos configuration.
         resilience: optional resilience tuning.
         with_telemetry: whether windows record worker-local telemetry.
+        with_ledger: whether windows record worker-local decision
+            ledgers (absorbed home in window-index order).
     """
 
     shard_id: int
@@ -103,6 +106,7 @@ class ShardTask:
     fault_profile: FaultProfile | None = None
     resilience: ResilienceConfig | None = None
     with_telemetry: bool = False
+    with_ledger: bool = False
 
 
 @dataclass
@@ -120,6 +124,13 @@ class WindowOutcome:
         spans: the window's finished spans as
             :meth:`~repro.telemetry.tracing.Span.to_dict` payloads.
         resilience_stats: the window scorer's resilience counters.
+        histograms: the window's telemetry histogram states
+            (:meth:`~repro.telemetry.metrics.MetricsRegistry.histograms_snapshot`),
+            folded home in window-index order so parallel reassembly is
+            exact for distributions too.
+        ledger_events: the window's decision events as
+            :meth:`~repro.provenance.DecisionEvent.to_dict` payloads
+            (empty when the run records no provenance).
     """
 
     index: int
@@ -128,6 +139,8 @@ class WindowOutcome:
     counters: dict[str, float] = field(default_factory=dict)
     spans: list[dict] = field(default_factory=list)
     resilience_stats: dict[str, float] = field(default_factory=dict)
+    histograms: dict[str, dict] = field(default_factory=dict)
+    ledger_events: list[dict] = field(default_factory=list)
 
 
 def _run_window_task(shard: ShardTask, item: WindowTask) -> WindowOutcome:
@@ -167,6 +180,14 @@ def _run_window_task(shard: ShardTask, item: WindowTask) -> WindowOutcome:
     merger = copy.deepcopy(shard.merger)
     if hasattr(merger, "telemetry"):
         merger.telemetry = telemetry
+    ledger = None
+    if shard.with_ledger and hasattr(merger, "ledger"):
+        # A fresh per-window ledger: events are stamped with the window
+        # index here and absorbed home in window-index order, so the
+        # merged log is worker-count independent (like Tracer.absorb).
+        ledger = DecisionLedger()
+        ledger.begin_window(item.index)
+        merger.ledger = ledger
     window_span = (
         telemetry.span("window", window_id=item.index, n_pairs=len(item.pairs))
         if telemetry is not None
@@ -182,6 +203,10 @@ def _run_window_task(shard: ShardTask, item: WindowTask) -> WindowOutcome:
                 len(item.pairs),
                 where="ParallelExecutor",
             )
+    if telemetry is not None:
+        telemetry.observe(
+            "window.merge_ms", result.simulated_seconds * 1000.0
+        )
     return WindowOutcome(
         index=item.index,
         result=result,
@@ -204,6 +229,12 @@ def _run_window_task(shard: ShardTask, item: WindowTask) -> WindowOutcome:
         resilience_stats=(
             scorer.stats() if isinstance(scorer, ResilientReidScorer) else {}
         ),
+        histograms=(
+            telemetry.metrics.histograms_snapshot()
+            if telemetry is not None
+            else {}
+        ),
+        ledger_events=ledger.to_dicts() if ledger is not None else [],
     )
 
 
@@ -281,21 +312,23 @@ class ParallelRun:
 
 
 def detached_merger(merger: Merger) -> Merger:
-    """A deep copy of ``merger`` with any injected telemetry removed.
+    """A deep copy of ``merger`` with injected observers removed.
 
     Shared by :func:`run_windows` and the streaming service: merger
     prototypes shipped to workers (or cloned per window) must not drag
-    a live telemetry object across the pool seam.
+    a live telemetry object — or a live decision ledger — across the
+    pool seam.  Workers attach their own window-local instances instead.
     """
-    parked = getattr(merger, "telemetry", None)
-    has_attribute = hasattr(merger, "telemetry")
-    if has_attribute:
-        merger.telemetry = None  # type: ignore[attr-defined]
+    parked: dict[str, object] = {}
+    for attribute in ("telemetry", "ledger"):
+        if hasattr(merger, attribute):
+            parked[attribute] = getattr(merger, attribute)
+            setattr(merger, attribute, None)
     try:
         clone = copy.deepcopy(merger)
     finally:
-        if has_attribute:
-            merger.telemetry = parked  # type: ignore[attr-defined]
+        for attribute, value in parked.items():
+            setattr(merger, attribute, value)
     return clone
 
 
@@ -323,6 +356,7 @@ def run_windows(
     n_workers: int = 1,
     backend: str = "process",
     telemetry: Telemetry | None = None,
+    ledger: DecisionLedger | None = None,
 ) -> ParallelRun:
     """Run every window of one video through the sharded engine.
 
@@ -345,9 +379,14 @@ def run_windows(
             auto-on default, exactly as the legacy serial path does).
         n_workers: worker count (``1`` = inline serial execution).
         backend: ``"process"`` or ``"thread"``.
-        telemetry: optional run-level telemetry; worker-local counters
-            and spans are merged into it in window-index order, plus one
-            ``parallel.shard`` span per shard.
+        telemetry: optional run-level telemetry; worker-local counters,
+            histograms and spans are merged into it in window-index
+            order, plus one ``parallel.shard`` span per shard.
+        ledger: optional run-level decision ledger; per-window worker
+            ledgers are absorbed into it in window-index order (sequence
+            numbers re-assigned, window stamps kept — exactly like
+            ``Tracer.absorb``), so the merged log is worker-count
+            independent.
     """
     n_windows = len(window_pairs)
     busy = [index for index, pairs in enumerate(window_pairs) if pairs]
@@ -367,6 +406,7 @@ def run_windows(
             fault_profile=fault_profile,
             resilience=resilience,
             with_telemetry=telemetry is not None,
+            with_ledger=ledger is not None,
         )
         for shard in plan.shards
     ]
@@ -396,10 +436,13 @@ def run_windows(
             stats_total[name] = stats_total.get(name, 0.0) + value
         if telemetry is not None:
             telemetry.metrics.merge_delta(outcome.counters)
+            telemetry.metrics.merge_histograms(outcome.histograms)
             window_metrics.append(dict(outcome.counters))
             telemetry.tracer.absorb(
                 [Span.from_dict(payload) for payload in outcome.spans]
             )
+        if ledger is not None:
+            ledger.absorb(outcome.ledger_events)
     if telemetry is not None:
         for shard in plan.shards:
             with telemetry.span(

@@ -66,6 +66,7 @@ from repro.parallel.executor import (
     empty_merge_result,
 )
 from repro.parallel.planner import single_window_seeds
+from repro.provenance import EVENT_DEGRADE, DecisionLedger
 from repro.reid import CostModel, CostParams
 from repro.resilience import CheckpointStore, ResilienceConfig
 from repro.streaming.events import (
@@ -80,7 +81,11 @@ from repro.telemetry.tracing import Span
 from repro.track.base import Track, Tracker
 
 #: Checkpoint schema version (bump on incompatible layout changes).
-CHECKPOINT_VERSION = 1
+#: v1 (pre-provenance) payloads lack the ``ledger`` / ``bp_active``
+#: keys; they restore fine into ledger-free services, but a service
+#: carrying a :class:`~repro.provenance.DecisionLedger` refuses them —
+#: pre-crash decision events would silently vanish otherwise.
+CHECKPOINT_VERSION = 2
 
 
 @dataclass
@@ -200,6 +205,14 @@ class StreamingIngestionService:
             profile is set, mirroring the offline pipeline.
         telemetry: optional injected :class:`~repro.telemetry.Telemetry`
             (pure observation; never changes results).
+        ledger: optional injected
+            :class:`~repro.provenance.DecisionLedger`.  Per-window
+            worker ledgers are absorbed in emission order (exactly like
+            ``Tracer.absorb``), service-level degradation verdicts are
+            recorded as ``degrade`` events, and the ledger state rides
+            in every checkpoint so a killed-and-resumed run reconstructs
+            a bit-identical decision log.  Pure observation — emissions
+            are bit-identical with the ledger on or off.
         workers: fan-out for simultaneously-ready windows (≥ 1); any
             value produces bit-identical emissions.
         parallel_backend: ``"process"`` or ``"thread"``.
@@ -230,6 +243,7 @@ class StreamingIngestionService:
         fault_profile: FaultProfile | None = None,
         resilience: ResilienceConfig | None = None,
         telemetry: Telemetry | None = None,
+        ledger: DecisionLedger | None = None,
         workers: int = 1,
         parallel_backend: str = "process",
         store: CheckpointStore | None = None,
@@ -256,6 +270,7 @@ class StreamingIngestionService:
         self.fault_profile = fault_profile
         self.resilience = resilience
         self.telemetry = telemetry
+        self.ledger = ledger
         self.workers = workers
         self.parallel_backend = parallel_backend
         self.store = store
@@ -283,6 +298,10 @@ class StreamingIngestionService:
         self.peak_open_windows = 0
         self.cost = CostModel(self.cost_params)
         self.resilience_stats: dict[str, float] = {}
+        #: Whether the last backpressure verdict was "degrade" — kept
+        #: across checkpoints so the transition counter never double
+        #: counts an edge replayed after a resume.
+        self._bp_active = False
 
     def _effective_resilience(self) -> ResilienceConfig | None:
         """Auto-enable resilience under a fault profile (pipeline rule)."""
@@ -333,6 +352,12 @@ class StreamingIngestionService:
             "peak_open_windows": self.peak_open_windows,
             "cost": self.cost.state_dict(),
             "resilience_stats": dict(self.resilience_stats),
+            "bp_active": self._bp_active,
+            "ledger": (
+                self.ledger.state_dict()
+                if self.ledger is not None
+                else None
+            ),
         }
         self.store.save(["stream", self.checkpoint_key], payload)
 
@@ -343,9 +368,18 @@ class StreamingIngestionService:
         payload = self.store.load(["stream", self.checkpoint_key])
         if payload is None:
             return False
-        if int(payload["version"]) != CHECKPOINT_VERSION:
+        version = int(payload["version"])
+        if version < 1 or version > CHECKPOINT_VERSION:
             raise ValueError(
                 f"checkpoint version {payload['version']} not supported"
+            )
+        if version < 2 and self.ledger is not None:
+            # A pre-provenance snapshot carries no ledger state: resuming
+            # it into a ledger-attached service would silently drop every
+            # pre-crash decision event.  Refuse loudly instead.
+            raise ValueError(
+                "checkpoint version 1 carries no decision-ledger state; "
+                "resume without a ledger or restart from scratch"
             )
         self.position = int(payload["position"])
         self.now_ms = float(payload["now_ms"])
@@ -379,6 +413,9 @@ class StreamingIngestionService:
             str(k): float(v)
             for k, v in payload["resilience_stats"].items()
         }
+        self._bp_active = bool(payload.get("bp_active", False))
+        if self.ledger is not None and payload.get("ledger") is not None:
+            self.ledger.load_state_dict(payload["ledger"])
         return True
 
     # ------------------------------------------------------------------
@@ -489,6 +526,10 @@ class StreamingIngestionService:
         if self.telemetry is not None:
             self.telemetry.set_gauge("stream.watermark", float(watermark))
             self.telemetry.set_gauge(
+                "stream.watermark_lag_ms",
+                self.now_ms - watermark * self.frame_interval_ms,
+            )
+            self.telemetry.set_gauge(
                 "stream.queue_depth", float(self.queue.depth)
             )
             self.telemetry.set_gauge(
@@ -553,6 +594,11 @@ class StreamingIngestionService:
                 break
             lag_ms = self.now_ms - window.end * self.frame_interval_ms
             degraded = self.policy.should_degrade(self.queue.depth, lag_ms)
+            if degraded != self._bp_active:
+                # Count policy *transitions* (edges), not verdicts: a
+                # long degraded stretch is one flip in, one flip out.
+                self._bp_active = degraded
+                self._count("stream.bp_transitions")
             self.ready.append(
                 {
                     "index": self.next_ready,
@@ -623,6 +669,7 @@ class StreamingIngestionService:
                     fault_profile=self.fault_profile,
                     resilience=self._effective_resilience(),
                     with_telemetry=self.telemetry is not None,
+                    with_ledger=self.ledger is not None,
                 )
             )
         if not tasks:
@@ -648,14 +695,27 @@ class StreamingIngestionService:
                 )
             if self.telemetry is not None:
                 self.telemetry.metrics.merge_delta(outcome.counters)
+                self.telemetry.metrics.merge_histograms(outcome.histograms)
                 self.telemetry.tracer.absorb(
                     [Span.from_dict(p) for p in outcome.spans]
                 )
+            if self.ledger is not None:
+                self.ledger.absorb(outcome.ledger_events)
             self._window_metrics.append(dict(outcome.counters))
         else:
             if entry["degraded"] and pairs:
                 result = spatial_fallback_result(self.merger, pairs, 0.0)
                 self._count("stream.windows_degraded")
+                if self.ledger is not None:
+                    # Service-level verdict: the backpressure policy —
+                    # not the merge algorithm — degraded this window.
+                    self.ledger.begin_window(index)
+                    self.ledger.record(
+                        EVENT_DEGRADE,
+                        reason="backpressure",
+                        lag_ms=float(entry["lag_ms"]),
+                        queue_depth=int(entry["queue_depth"]),
+                    )
             else:
                 result = empty_merge_result(self.merger)
             self._window_metrics.append({})
@@ -674,6 +734,14 @@ class StreamingIngestionService:
             queue_depth=entry["queue_depth"],
         )
         if self.telemetry is not None:
+            self.telemetry.observe(
+                "stream.merge_latency_ms",
+                result.simulated_seconds * 1000.0,
+            )
+            self.telemetry.observe(
+                "stream.emit_lag_ms",
+                self.now_ms - emission.window.end * self.frame_interval_ms,
+            )
             with self.telemetry.span(
                 "stream.window",
                 window_id=index,

@@ -11,6 +11,11 @@ Three primitives behind one injectable facade:
   for the Python implementation itself (kept strictly outside the
   simulated-cost story).
 
+Plus the operational export surface: :func:`render_openmetrics` /
+:func:`parse_openmetrics` expose a registry in the OpenMetrics /
+Prometheus text format (zero-dependency; see
+:mod:`repro.telemetry.openmetrics`).
+
 The facade, :class:`Telemetry`, is always *injected* — constructed by
 whoever owns a run and passed down through constructors.  Module-level
 telemetry singletons are a lint violation (REPRO010).  Components accept
@@ -26,6 +31,11 @@ from repro.telemetry.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+)
+from repro.telemetry.openmetrics import (
+    metric_name,
+    parse_openmetrics,
+    render_openmetrics,
 )
 from repro.telemetry.profiling import FunctionStats, Profiler, profiled
 from repro.telemetry.tracing import (
@@ -47,6 +57,9 @@ __all__ = [
     "Telemetry",
     "Tracer",
     "load_spans_jsonl",
+    "metric_name",
+    "parse_openmetrics",
     "profiled",
+    "render_openmetrics",
     "spans_from_jsonl",
 ]

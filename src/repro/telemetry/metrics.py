@@ -122,15 +122,92 @@ class Histogram:
         """Average of all observations (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Estimate the ``q``-quantile from the bucket counts.
+
+        Uses Prometheus-style linear interpolation inside the bucket the
+        target rank lands in, with two exactness improvements the exact
+        min/max tracking affords: the first bucket's lower edge is the
+        observed minimum (not an assumed 0), the +inf bucket's upper
+        edge is the observed maximum, and the result is clamped to
+        ``[min_value, max_value]``.  ``0.0`` when empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        if target <= 0:
+            return self.min_value
+        cumulative = 0.0
+        for index, bucket_count in enumerate(self.bucket_counts):
+            if bucket_count == 0:
+                continue
+            lower = (
+                self.min_value if index == 0 else self.bounds[index - 1]
+            )
+            upper = (
+                self.max_value
+                if index == len(self.bounds)
+                else self.bounds[index]
+            )
+            if cumulative + bucket_count >= target:
+                fraction = (target - cumulative) / bucket_count
+                value = lower + (upper - lower) * fraction
+                return min(max(value, self.min_value), self.max_value)
+            cumulative += bucket_count
+        return self.max_value
+
     def summary(self) -> dict[str, float]:
-        """Count/sum/mean/min/max as a flat dict."""
+        """Count/sum/mean/min/max plus p50/p95/p99 as a flat dict."""
         return {
             "count": float(self.count),
             "sum": self.total,
             "mean": self.mean,
             "min": self.min_value if self.count else 0.0,
             "max": self.max_value if self.count else 0.0,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
         }
+
+    def state_dict(self) -> dict:
+        """Restorable/mergeable state (pure JSON; no infinities)."""
+        return {
+            "bounds": list(self.bounds),
+            "bucket_counts": [int(c) for c in self.bucket_counts],
+            "count": int(self.count),
+            "sum": float(self.total),
+            "min": self.min_value if self.count else None,
+            "max": self.max_value if self.count else None,
+        }
+
+    def merge_state(self, state: dict) -> None:
+        """Fold another histogram's :meth:`state_dict` into this one.
+
+        The parallel engine ships worker-local histogram states home in
+        :class:`~repro.parallel.executor.WindowOutcome` payloads and
+        folds them here in window-index order, so merged distributions
+        are exact (bucket counts, sums, extremes — not just summaries)
+        and worker-count independent.
+
+        Raises:
+            ValueError: the states were recorded with different bounds.
+        """
+        if tuple(float(b) for b in state["bounds"]) != self.bounds:
+            raise ValueError(
+                f"histogram {self.name!r}: cannot merge states with "
+                f"different bounds ({state['bounds']} vs "
+                f"{list(self.bounds)})"
+            )
+        for index, bucket_count in enumerate(state["bucket_counts"]):
+            self.bucket_counts[index] += int(bucket_count)
+        self.count += int(state["count"])
+        self.total += float(state["sum"])
+        if state["min"] is not None:
+            self.min_value = min(self.min_value, float(state["min"]))
+        if state["max"] is not None:
+            self.max_value = max(self.max_value, float(state["max"]))
 
 
 class MetricsRegistry:
@@ -202,6 +279,14 @@ class MetricsRegistry:
         """Current counter values, for later :meth:`delta` computation."""
         return {name: c.value for name, c in self._counters.items()}
 
+    def gauges_snapshot(self) -> dict[str, float]:
+        """Current gauge values (for exporters and dashboards)."""
+        return {name: g.value for name, g in self._gauges.items()}
+
+    def histograms(self) -> dict[str, Histogram]:
+        """The live histogram instruments, by name (insertion order)."""
+        return dict(self._histograms)
+
     @staticmethod
     def delta(
         after: dict[str, float], before: dict[str, float]
@@ -222,17 +307,46 @@ class MetricsRegistry:
         construction because the worker registry starts empty.  The
         parallel engine merges worker counters through this method in
         window-index order, so merged totals are worker-count
-        independent down to float accumulation order.
+        independent down to float accumulation order.  Histogram
+        movement travels separately through :meth:`histograms_snapshot`
+        / :meth:`merge_histograms` (it is distribution state, not a
+        scalar delta).
         """
         for name, amount in delta.items():
             if amount:
                 self.counter(name).inc(amount)
 
+    def histograms_snapshot(self) -> dict[str, dict]:
+        """Every histogram's :meth:`Histogram.state_dict`, by name.
+
+        The histogram half of the parallel reassembly seam: workers ship
+        this home and the reassembly stage folds it into the run
+        registry via :meth:`merge_histograms`, making ``merge_delta``-
+        based reassembly exact for distributions too (they used to be
+        dropped at the pool seam).
+        """
+        return {
+            name: histogram.state_dict()
+            for name, histogram in self._histograms.items()
+        }
+
+    def merge_histograms(self, snapshot: dict[str, dict]) -> None:
+        """Fold a :meth:`histograms_snapshot` into this registry.
+
+        Absent histograms are created with the shipped bounds, so the
+        merged registry is exactly what a single-worker run would have
+        recorded.
+        """
+        for name, state in snapshot.items():
+            self.histogram(
+                name, bounds=tuple(float(b) for b in state["bounds"])
+            ).merge_state(state)
+
     def snapshot(self) -> dict[str, float]:
         """Every instrument flattened to ``name -> value`` floats.
 
         Histograms contribute ``<name>.count`` / ``.sum`` / ``.mean`` /
-        ``.min`` / ``.max`` entries.
+        ``.min`` / ``.max`` / ``.p50`` / ``.p95`` / ``.p99`` entries.
         """
         flat: dict[str, float] = self.counters_snapshot()
         for name, gauge in self._gauges.items():
@@ -254,6 +368,7 @@ class MetricsRegistry:
             s = h.summary()
             lines.append(
                 f"{name}: count={s['count']:g} sum={s['sum']:g} "
-                f"mean={s['mean']:g} min={s['min']:g} max={s['max']:g}"
+                f"mean={s['mean']:g} min={s['min']:g} max={s['max']:g} "
+                f"p50={s['p50']:g} p95={s['p95']:g} p99={s['p99']:g}"
             )
         return "\n".join(lines)

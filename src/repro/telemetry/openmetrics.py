@@ -1,0 +1,148 @@
+"""Zero-dependency OpenMetrics / Prometheus text exposition.
+
+:func:`render_openmetrics` turns a :class:`MetricsRegistry` into the
+OpenMetrics text format a Prometheus scraper (or ``promtool``) accepts:
+dotted repo metric names are sanitized to underscore form under a
+configurable prefix, counters gain the conventional ``_total`` suffix,
+histograms are expanded into *cumulative* ``_bucket{le="..."}`` series
+(the repo's internal bucket counts are per-bucket, not cumulative) plus
+``_sum`` / ``_count``, and the exposition ends with the mandatory
+``# EOF`` marker.
+
+:func:`parse_openmetrics` is the matching reader — enough of the format
+to round-trip everything the renderer emits, which is what the exporter
+tests (and the ``monitor`` CLI's self-check) rely on.  Values are
+rendered with ``repr(float)`` so the round-trip is bit-exact.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.telemetry.metrics import MetricsRegistry
+
+#: Characters legal in a Prometheus metric name after the first.
+_NAME_SANITIZER = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def metric_name(name: str, prefix: str = "repro") -> str:
+    """Sanitize a dotted repo metric name to Prometheus form.
+
+    ``reid.invocations`` → ``repro_reid_invocations``.
+    """
+    sanitized = _NAME_SANITIZER.sub("_", name)
+    if prefix:
+        return f"{prefix}_{sanitized}"
+    if sanitized and sanitized[0].isdigit():
+        sanitized = f"_{sanitized}"
+    return sanitized
+
+
+def _format_value(value: float) -> str:
+    """A float rendered so the exposition round-trips bit-exactly."""
+    if value != value:  # NaN
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    return repr(float(value))
+
+
+def _format_le(bound: float) -> str:
+    """A bucket upper bound for the ``le`` label (+Inf for the last)."""
+    if bound == float("inf"):
+        return "+Inf"
+    return repr(float(bound))
+
+
+def render_openmetrics(
+    registry: MetricsRegistry, prefix: str = "repro"
+) -> str:
+    """The registry as OpenMetrics exposition text (ends with ``# EOF``).
+
+    Counters render as ``<name>_total`` counter families, gauges as
+    plain gauges, histograms as cumulative ``_bucket`` series plus
+    ``_sum`` / ``_count``.
+    """
+    lines: list[str] = []
+    for name, value in registry.counters_snapshot().items():
+        family = metric_name(name, prefix)
+        lines.append(f"# TYPE {family} counter")
+        lines.append(f"{family}_total {_format_value(value)}")
+    for name, value in registry.gauges_snapshot().items():
+        family = metric_name(name, prefix)
+        lines.append(f"# TYPE {family} gauge")
+        lines.append(f"{family} {_format_value(value)}")
+    for name, histogram in registry.histograms().items():
+        family = metric_name(name, prefix)
+        lines.append(f"# TYPE {family} histogram")
+        cumulative = 0
+        for index, bound in enumerate(
+            (*histogram.bounds, float("inf"))
+        ):
+            cumulative += histogram.bucket_counts[index]
+            lines.append(
+                f'{family}_bucket{{le="{_format_le(bound)}"}} '
+                f"{_format_value(float(cumulative))}"
+            )
+        lines.append(f"{family}_sum {_format_value(histogram.total)}")
+        lines.append(
+            f"{family}_count {_format_value(float(histogram.count))}"
+        )
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    return float(text)
+
+
+def parse_openmetrics(text: str) -> dict[str, float]:
+    """Parse exposition text back into ``sample-name -> value``.
+
+    Sample names keep their label sets verbatim
+    (``repro_window_merge_ms_bucket{le="10.0"}``), so the result of
+    ``parse_openmetrics(render_openmetrics(registry))`` pins every
+    emitted number.  ``# TYPE`` and comment lines are skipped; the
+    exposition must end with ``# EOF``.
+
+    Raises:
+        ValueError: malformed sample line, or the ``# EOF`` terminator
+            is missing.
+    """
+    samples: dict[str, float] = {}
+    saw_eof = False
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line == "# EOF":
+            saw_eof = True
+            continue
+        if line.startswith("#"):
+            continue
+        if saw_eof:
+            raise ValueError("sample line after # EOF")
+        if "}" in line:
+            cut = line.index("}") + 1
+            name, _, value = (
+                line[:cut],
+                " ",
+                line[cut:].strip(),
+            )
+        else:
+            parts = line.split()
+            if len(parts) != 2:
+                raise ValueError(f"malformed sample line: {raw!r}")
+            name, value = parts
+        if not value:
+            raise ValueError(f"malformed sample line: {raw!r}")
+        samples[name] = _parse_value(value.split()[0])
+    if not saw_eof:
+        raise ValueError("exposition is missing the # EOF terminator")
+    return samples

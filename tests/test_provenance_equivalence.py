@@ -1,0 +1,373 @@
+"""Differential tests: the decision ledger is bit-transparent.
+
+The provenance layer's contract (DESIGN.md §14) mirrors telemetry's:
+attaching a :class:`~repro.provenance.DecisionLedger` never changes a
+single merged bit — candidates, scores, iterations, the simulated
+clock — across seeds × fault profiles × worker counts × batch sizes
+(the CI chaos matrix re-runs this file at ``REPRO_BATCH_SIZE`` 1 and 8).
+On top of transparency, the ledger itself must be deterministic: the
+merged log is worker-count invariant, and a streaming service killed at
+a window boundary and resumed from its checkpoint reconstructs the
+bit-identical event log an uninterrupted run would have written.
+Checkpoint-schema compatibility rules (TMerge v3, streaming v2) are
+enforced here too.
+"""
+
+import json
+
+import pytest
+
+from helpers import planted_pairs, stub_scorer
+
+from repro.core.tmerge import TMerge
+from repro.faults import fault_profile
+from repro.provenance import DecisionLedger
+from repro.resilience import CheckpointStore
+from repro.streaming import StreamingIngestionService, SyntheticFeedSource
+from repro.track import TracktorTracker
+
+SEEDS = (1, 5)
+PROFILES = (None, "flaky-reid", "window-crash")
+FAULT_SEED = 11
+
+
+def _profile(name):
+    return None if name is None else fault_profile(name, seed=FAULT_SEED)
+
+
+def _workload(noise: float = 0.05):
+    pairs, _ = planted_pairs(n_distinct=8, track_len=6)
+    return pairs, stub_scorer(noise=noise, seed=9)
+
+
+def _merge_fingerprint(result, scorer):
+    return json.loads(json.dumps({
+        "candidates": [list(k) for k in result.candidate_keys],
+        "scores": sorted((list(k), v) for k, v in result.scores.items()),
+        "iterations": result.iterations,
+        "simulated_seconds": result.simulated_seconds,
+        "cost": scorer.cost.state_dict(),
+    }))
+
+
+class TestMergerTransparency:
+    """Ledger on/off bit-identity at the TMerge level (fast path)."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("batch_size", (1, 8))
+    def test_ledger_does_not_change_results(self, seed, batch_size):
+        config = dict(
+            k=0.2, tau_max=300, seed=seed, batch_size=batch_size,
+            ulb_scale=0.3, ulb_interval=10,
+        )
+        pairs, scorer = _workload()
+        plain = TMerge(**config).run(pairs, scorer)
+        plain_print = _merge_fingerprint(plain, scorer)
+
+        pairs, scorer = _workload()
+        ledger = DecisionLedger()
+        observed = TMerge(ledger=ledger, **config).run(pairs, scorer)
+        assert _merge_fingerprint(observed, scorer) == plain_print
+        kinds = {event.kind for event in ledger}
+        assert "window" in kinds and "sample" in kinds and "final" in kinds
+
+    def test_gaussian_posterior_transparent(self):
+        config = dict(k=0.2, tau_max=200, seed=3, posterior="gaussian")
+        pairs, scorer = _workload()
+        plain_print = _merge_fingerprint(
+            TMerge(**config).run(pairs, scorer), scorer
+        )
+        pairs, scorer = _workload()
+        ledger = DecisionLedger()
+        observed = TMerge(ledger=ledger, **config).run(pairs, scorer)
+        assert _merge_fingerprint(observed, scorer) == plain_print
+        sample = next(e for e in ledger if e.kind == "sample")
+        assert len(sample.data["posterior_after"][0]) == 2
+
+
+@pytest.fixture(scope="module")
+def tracked(chaos_world):
+    from repro.detect import NoisyDetector
+    from repro.track import TracktorTracker as Tracker
+
+    detections = NoisyDetector().detect_video(chaos_world, seed=2)
+    tracks = Tracker().run(detections)
+    return detections, tracks
+
+
+def _run_pipeline(make_pipeline, world, tracked, *, workers, seed,
+                  profile=None, ledger=None):
+    detections, tracks = tracked
+    pipeline = make_pipeline(
+        window_length=100,
+        reid_seed=seed,
+        workers=workers,
+        parallel_backend="thread",
+        fault_profile=_profile(profile),
+        ledger=ledger,
+    )
+    return pipeline.run_on_tracks(world, detections, tracks)
+
+
+def _pipeline_fingerprint(result):
+    return {
+        "candidates": [
+            tuple(sorted(r.candidate_keys)) for r in result.window_results
+        ],
+        "scores": [
+            tuple(sorted(r.scores.items())) for r in result.window_results
+        ],
+        "degraded": [r.degraded for r in result.window_results],
+        "simulated_seconds": [
+            r.simulated_seconds for r in result.window_results
+        ],
+        "cost": result.cost.state_dict(),
+        "resilience": dict(result.resilience_stats),
+    }
+
+
+class TestPipelineTransparency:
+    """Ledger on/off bit-identity through the sharded engine."""
+
+    @pytest.mark.parametrize("profile", PROFILES)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_ledger_transparent_under_faults(
+        self, make_pipeline, chaos_world, tracked, seed, profile
+    ):
+        plain = _run_pipeline(
+            make_pipeline, chaos_world, tracked,
+            workers=2, seed=seed, profile=profile,
+        )
+        ledger = DecisionLedger()
+        observed = _run_pipeline(
+            make_pipeline, chaos_world, tracked,
+            workers=2, seed=seed, profile=profile, ledger=ledger,
+        )
+        assert _pipeline_fingerprint(observed) == _pipeline_fingerprint(
+            plain
+        )
+        assert len(ledger) > 0
+
+    def test_ledger_worker_count_invariant(
+        self, make_pipeline, chaos_world, tracked
+    ):
+        """The absorbed log is identical for any worker count."""
+        logs = {}
+        for workers in (1, 2, 4):
+            ledger = DecisionLedger()
+            _run_pipeline(
+                make_pipeline, chaos_world, tracked,
+                workers=workers, seed=1, profile="window-crash",
+                ledger=ledger,
+            )
+            logs[workers] = [event.to_dict() for event in ledger]
+        assert logs[2] == logs[1]
+        assert logs[4] == logs[1]
+        kinds = {event["kind"] for event in logs[1]}
+        assert "fault" in kinds  # the crash profile leaves fault events
+
+    def test_serial_path_transparent(
+        self, make_pipeline, chaos_world, tracked
+    ):
+        """The inline (workers=None) path is transparent too."""
+        detections, tracks = tracked
+        plain = make_pipeline(window_length=100).run_on_tracks(
+            chaos_world, detections, tracks
+        )
+        ledger = DecisionLedger()
+        observed = make_pipeline(
+            window_length=100, ledger=ledger
+        ).run_on_tracks(chaos_world, detections, tracks)
+        assert _pipeline_fingerprint(observed) == _pipeline_fingerprint(
+            plain
+        )
+        windows = {e.window for e in ledger if e.kind == "window"}
+        assert len(windows) == len(plain.window_results)
+
+
+def _service(store, *, ledger=None, seed=1, profile=None):
+    return StreamingIngestionService(
+        TracktorTracker(),
+        TMerge(k=0.1, tau_max=100, batch_size=10, seed=3),
+        window_length=100,
+        allowed_lateness=4,
+        max_open_windows=8,
+        reid_seed=seed,
+        workers=1,
+        parallel_backend="thread",
+        fault_profile=profile,
+        store=store,
+        ledger=ledger,
+    )
+
+
+def _source(world, profile=None):
+    return SyntheticFeedSource(
+        world, disorder_ms=50.0, disorder_seed=3, fault_profile=profile
+    )
+
+
+class TestStreamingLedger:
+    """Kill+resume reconstructs a bit-identical ledger; emissions stay
+    transparent; checkpoint-schema compat rules hold."""
+
+    @pytest.mark.parametrize("profile_name", (None, "window-crash"))
+    def test_kill_resume_ledger_bit_identical(
+        self, chaos_world, profile_name
+    ):
+        profile = _profile(profile_name)
+        source = _source(chaos_world, profile)
+        reference_ledger = DecisionLedger()
+        reference = _service(
+            CheckpointStore(), ledger=reference_ledger, profile=profile
+        ).run(source)
+        assert not reference.stopped and len(reference.emissions) >= 4
+
+        store = CheckpointStore()
+        first = _service(
+            store, ledger=DecisionLedger(), profile=profile
+        ).run(source, stop_after_windows=2)
+        assert first.stopped
+        resumed_ledger = DecisionLedger()
+        resumed = _service(
+            store, ledger=resumed_ledger, profile=profile
+        ).run(source)
+
+        stitched = first.fingerprints() + resumed.fingerprints()
+        assert stitched == reference.fingerprints()
+        assert [e.to_dict() for e in resumed_ledger] == [
+            e.to_dict() for e in reference_ledger
+        ]
+
+    def test_emissions_transparent(self, chaos_world):
+        plain = _service(CheckpointStore()).run(
+            _source(chaos_world)
+        )
+        observed = _service(
+            CheckpointStore(), ledger=DecisionLedger()
+        ).run(_source(chaos_world))
+        assert observed.fingerprints() == plain.fingerprints()
+        assert observed.counters == plain.counters
+
+    def test_v1_snapshot_refused_with_ledger(self, chaos_world):
+        """Pre-provenance snapshots cannot resume into a ledger run."""
+        source = _source(chaos_world)
+        store = CheckpointStore()
+        _service(store).run(source, stop_after_windows=2)
+        payload = store.load(["stream", "stream"])
+        payload = json.loads(json.dumps(payload))
+        payload["version"] = 1
+        payload.pop("ledger", None)
+        payload.pop("bp_active", None)
+        store.save(["stream", "stream"], payload)
+        with pytest.raises(ValueError, match="ledger"):
+            _service(store, ledger=DecisionLedger()).run(source)
+
+    def test_v1_snapshot_fine_without_ledger(self, chaos_world):
+        source = _source(chaos_world)
+        reference = _service(CheckpointStore()).run(source)
+
+        store = CheckpointStore()
+        first = _service(store).run(source, stop_after_windows=2)
+        payload = json.loads(json.dumps(store.load(["stream", "stream"])))
+        payload["version"] = 1
+        payload.pop("ledger", None)
+        payload.pop("bp_active", None)
+        store.save(["stream", "stream"], payload)
+        resumed = _service(store).run(source)
+        stitched = first.fingerprints() + resumed.fingerprints()
+        assert stitched == reference.fingerprints()
+
+    def test_future_version_refused(self, chaos_world):
+        source = _source(chaos_world)
+        store = CheckpointStore()
+        _service(store).run(source, stop_after_windows=1)
+        payload = json.loads(json.dumps(store.load(["stream", "stream"])))
+        payload["version"] = 99
+        store.save(["stream", "stream"], payload)
+        with pytest.raises(ValueError, match="not supported"):
+            _service(store).run(source)
+
+    def test_ledger_state_rides_in_checkpoint(self, chaos_world):
+        source = _source(chaos_world)
+        store = CheckpointStore()
+        ledger = DecisionLedger()
+        _service(store, ledger=ledger).run(source, stop_after_windows=2)
+        payload = store.load(["stream", "stream"])
+        assert payload["version"] == 2
+        assert payload["ledger"] is not None
+        assert payload["ledger"]["events"] == ledger.to_dicts()
+
+
+class TestTMergeCheckpointCompat:
+    """TMerge v3 schema: ledger state rides along; a snapshot without
+    it refuses to resume into a ledger-attached run.
+
+    These tests use a *noiseless* scorer: TMerge checkpoints never
+    capture the caller-owned scorer's RNG, so after a resume the raw
+    observed distances would differ with feature noise (results stay
+    bit-identical — the quantized outcomes match — but the ledger
+    records ``d_norm`` verbatim).  With noise off, ``d_norm`` is a pure
+    function of the pair and the whole event log is bit-comparable."""
+
+    def _captured_payload(self, *, ledger=None):
+        pairs, scorer = _workload(noise=0.0)
+        store = CheckpointStore()
+        captured = {}
+        orig_save = store.save
+
+        def spy(key, state):
+            if state["tau"] == 120 and "payload" not in captured:
+                captured["payload"] = json.loads(json.dumps(state))
+            orig_save(key, state)
+
+        store.save = spy
+        result = TMerge(
+            k=0.2, tau_max=300, seed=4, checkpoint_interval=40,
+            checkpoint_store=store, ledger=ledger,
+        ).run(pairs, scorer)
+        assert "payload" in captured
+        return captured["payload"], _merge_fingerprint(result, scorer)
+
+    def test_ledger_payload_round_trips(self):
+        ledger = DecisionLedger()
+        payload, reference = self._captured_payload(ledger=ledger)
+        assert payload["ledger"] is not None
+
+        pairs, scorer = _workload(noise=0.0)
+        store = CheckpointStore()
+        store.save([list(p.key) for p in pairs], payload)
+        resumed_ledger = DecisionLedger()
+        resumed = TMerge(
+            k=0.2, tau_max=300, seed=4, checkpoint_interval=40,
+            checkpoint_store=store, ledger=resumed_ledger,
+        ).run(pairs, scorer)
+        assert _merge_fingerprint(resumed, scorer) == reference
+        assert [e.to_dict() for e in resumed_ledger] == [
+            e.to_dict() for e in ledger
+        ]
+
+    def test_ledgerless_payload_refused_with_ledger(self):
+        payload, _ = self._captured_payload(ledger=None)
+        assert payload["ledger"] is None
+
+        pairs, scorer = _workload(noise=0.0)
+        store = CheckpointStore()
+        store.save([list(p.key) for p in pairs], payload)
+        with pytest.raises(ValueError, match="ledger"):
+            TMerge(
+                k=0.2, tau_max=300, seed=4, checkpoint_interval=40,
+                checkpoint_store=store, ledger=DecisionLedger(),
+            ).run(pairs, scorer)
+
+    def test_ledger_payload_fine_without_ledger(self):
+        ledger = DecisionLedger()
+        payload, reference = self._captured_payload(ledger=ledger)
+        pairs, scorer = _workload(noise=0.0)
+        store = CheckpointStore()
+        store.save([list(p.key) for p in pairs], payload)
+        resumed = TMerge(
+            k=0.2, tau_max=300, seed=4, checkpoint_interval=40,
+            checkpoint_store=store,
+        ).run(pairs, scorer)
+        assert _merge_fingerprint(resumed, scorer) == reference

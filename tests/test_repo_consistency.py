@@ -71,6 +71,7 @@ class TestPublicApi:
             "repro.analysis",
             "repro.lint",
             "repro.parallel",
+            "repro.provenance",
             "repro.streaming",
         ):
             module = importlib.import_module(package)

@@ -20,6 +20,7 @@ from repro.core.tmerge import TMerge
 from repro.faults import fault_profile
 from repro.resilience import CheckpointStore
 from repro.streaming import StreamingIngestionService, SyntheticFeedSource
+from repro.telemetry import Telemetry
 from repro.track import TracktorTracker
 
 SEEDS = (1, 5)
@@ -43,7 +44,7 @@ def _source(world, profile):
     )
 
 
-def _service(store, *, seed=1, profile=None, workers=1):
+def _service(store, *, seed=1, profile=None, workers=1, telemetry=None):
     # CI chaos-matrix seam: REPRO_BATCH_SIZE re-runs every restart test
     # at a forced batch size (1 = scalar path, 8 = batched).
     env_batch = os.environ.get("REPRO_BATCH_SIZE")
@@ -59,6 +60,7 @@ def _service(store, *, seed=1, profile=None, workers=1):
         fault_profile=profile,
         store=store,
         batch_size=int(env_batch) if env_batch else None,
+        telemetry=telemetry,
     )
 
 
@@ -155,3 +157,100 @@ def test_fresh_store_means_fresh_start(stream_world):
     fresh = _service(CheckpointStore()).run(source)
     assert fresh.emissions[0].fingerprint() == killed.emissions[0].fingerprint()
     assert fresh.position == stream_world.n_frames
+
+
+def test_window_metrics_stitch_across_restart(stream_world):
+    """Per-emission counter deltas neither double-count nor drop.
+
+    ``StreamRunResult.window_metrics`` holds one delta per emission; a
+    kill + resume must partition the reference list exactly — the
+    resumed service re-records nothing for windows already emitted and
+    skips nothing for windows still pending.
+    """
+    source = _source(stream_world, None)
+    reference = _service(
+        CheckpointStore(), telemetry=Telemetry()
+    ).run(source)
+    assert len(reference.window_metrics) == len(reference.emissions)
+
+    store = CheckpointStore()
+    first = _service(store, telemetry=Telemetry()).run(
+        source, stop_after_windows=2
+    )
+    resumed = _service(store, telemetry=Telemetry()).run(source)
+    assert len(first.window_metrics) == len(first.emissions)
+    stitched = first.window_metrics + resumed.window_metrics
+    assert stitched == reference.window_metrics
+
+
+def test_absorbed_spans_stitch_across_restart(stream_world):
+    """Tracer.absorb across a restart covers each window exactly once."""
+    source = _source(stream_world, None)
+    ref_telemetry = Telemetry()
+    reference = _service(
+        CheckpointStore(), telemetry=ref_telemetry
+    ).run(source)
+
+    store = CheckpointStore()
+    first_telemetry = Telemetry()
+    _service(store, telemetry=first_telemetry).run(
+        source, stop_after_windows=2
+    )
+    resumed_telemetry = Telemetry()
+    _service(store, telemetry=resumed_telemetry).run(source)
+
+    def window_ids(telemetry):
+        return [
+            s.attributes["window_id"]
+            for s in telemetry.tracer.spans
+            if s.name == "stream.window"
+        ]
+
+    first_ids = window_ids(first_telemetry)
+    resumed_ids = window_ids(resumed_telemetry)
+    assert not set(first_ids) & set(resumed_ids)
+    assert sorted(first_ids + resumed_ids) == sorted(
+        window_ids(ref_telemetry)
+    )
+    assert sorted(window_ids(ref_telemetry)) == [
+        e.index for e in reference.emissions
+    ]
+
+    def name_counts(telemetry):
+        counts = {}
+        for span in telemetry.tracer.spans:
+            if span.name == "stream.run":
+                continue  # one per run() call by construction
+            counts[span.name] = counts.get(span.name, 0) + 1
+        return counts
+
+    stitched = name_counts(first_telemetry)
+    for name, count in name_counts(resumed_telemetry).items():
+        stitched[name] = stitched.get(name, 0) + count
+    assert stitched == name_counts(ref_telemetry)
+
+
+def test_telemetry_counters_stitch_across_restart(stream_world):
+    """Registry counters over both halves sum to the reference run's."""
+    source = _source(stream_world, None)
+    ref_telemetry = Telemetry()
+    _service(CheckpointStore(), telemetry=ref_telemetry).run(source)
+    ref_counters = ref_telemetry.metrics.counters_snapshot()
+
+    store = CheckpointStore()
+    first_telemetry = Telemetry()
+    _service(store, telemetry=first_telemetry).run(
+        source, stop_after_windows=2
+    )
+    resumed_telemetry = Telemetry()
+    _service(store, telemetry=resumed_telemetry).run(source)
+
+    stitched = dict(first_telemetry.metrics.counters_snapshot())
+    for name, value in (
+        resumed_telemetry.metrics.counters_snapshot().items()
+    ):
+        stitched[name] = stitched.get(name, 0.0) + value
+    assert set(stitched) == set(ref_counters)
+    for name, value in ref_counters.items():
+        # approx: the split re-associates float accumulation order
+        assert stitched[name] == pytest.approx(value), name

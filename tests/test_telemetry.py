@@ -3,6 +3,7 @@ JSONL round-trips, the @profiled hook, and the bit-identity guarantee
 (a pipeline run with telemetry injected produces exactly the same
 merge results as one without)."""
 
+import json
 import math
 
 import pytest
@@ -17,6 +18,12 @@ from repro.telemetry import (
     Telemetry,
     Tracer,
     profiled,
+)
+from repro.telemetry.metrics import Histogram
+from repro.telemetry.openmetrics import (
+    metric_name,
+    parse_openmetrics,
+    render_openmetrics,
 )
 from repro.telemetry.tracing import (
     Span,
@@ -345,3 +352,204 @@ class TestPipelineIntegration:
         ]
         assert merges
         assert all(s.parent_id in window_ids for s in merges)
+
+
+# ---------------------------------------------------------------------------
+# Histogram percentiles, state merging, OpenMetrics exposition
+# ---------------------------------------------------------------------------
+class TestHistogramPercentiles:
+    def test_extremes_are_exact(self):
+        histogram = Histogram("t", bounds=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 8.0):
+            histogram.observe(value)
+        assert histogram.percentile(0.0) == 0.5
+        assert histogram.percentile(1.0) == 8.0
+
+    def test_degenerate_bucket_clamps_to_observed(self):
+        histogram = Histogram("t", bounds=(10.0,))
+        for _ in range(4):
+            histogram.observe(5.0)
+        assert histogram.percentile(0.5) == 5.0
+        assert histogram.percentile(0.99) == 5.0
+
+    def test_uniform_grid_lands_near_true_quantiles(self):
+        histogram = Histogram(
+            "t", bounds=(25.0, 50.0, 75.0, 100.0)
+        )
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        assert histogram.percentile(0.50) == pytest.approx(50.0, abs=1.0)
+        assert histogram.percentile(0.95) == pytest.approx(95.0, abs=1.0)
+        assert histogram.percentile(0.99) == pytest.approx(99.0, abs=1.0)
+
+    def test_empty_is_zero_and_bad_q_rejected(self):
+        histogram = Histogram("t")
+        assert histogram.percentile(0.5) == 0.0
+        with pytest.raises(ValueError):
+            histogram.percentile(1.5)
+
+    def test_summary_carries_percentiles(self):
+        histogram = Histogram("t")
+        histogram.observe(3.0)
+        summary = histogram.summary()
+        assert summary["p50"] == 3.0
+        assert summary["p95"] == 3.0
+        assert summary["p99"] == 3.0
+
+
+class TestHistogramState:
+    def test_merge_matches_direct_observation(self):
+        left_values = [0.5, 3.0, 12.0, 700.0]
+        right_values = [0.1, 9.0, 50.0]
+        direct = Histogram("t")
+        for value in left_values + right_values:
+            direct.observe(value)
+        left, right = Histogram("t"), Histogram("t")
+        for value in left_values:
+            left.observe(value)
+        for value in right_values:
+            right.observe(value)
+        left.merge_state(right.state_dict())
+        assert left.state_dict() == direct.state_dict()
+        assert left.summary() == direct.summary()
+
+    def test_state_is_pure_json(self):
+        histogram = Histogram("t")
+        histogram.observe(1.5)
+        state = json.loads(json.dumps(histogram.state_dict()))
+        clone = Histogram("t")
+        clone.merge_state(state)
+        assert clone.state_dict() == histogram.state_dict()
+
+    def test_bounds_mismatch_refused(self):
+        left = Histogram("t", bounds=(1.0, 2.0))
+        right = Histogram("t", bounds=(1.0, 3.0))
+        with pytest.raises(ValueError):
+            left.merge_state(right.state_dict())
+
+    def test_merging_empty_state_keeps_extremes(self):
+        histogram = Histogram("t")
+        histogram.observe(5.0)
+        histogram.merge_state(Histogram("t").state_dict())
+        assert histogram.count == 1
+        assert histogram.min_value == 5.0
+        assert histogram.max_value == 5.0
+
+    def test_registry_snapshot_merge_round_trip(self):
+        source = MetricsRegistry()
+        source.observe("window.merge_ms", 3.0)
+        source.observe("window.merge_ms", 40.0)
+        target = MetricsRegistry()
+        target.merge_histograms(source.histograms_snapshot())
+        assert (
+            target.histograms()["window.merge_ms"].state_dict()
+            == source.histograms()["window.merge_ms"].state_dict()
+        )
+
+
+class TestOpenMetrics:
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.inc("reid.invocations", 7)
+        registry.set_gauge("stream.queue_depth", 3.5)
+        registry.observe("window.merge_ms", 0.25)
+        registry.observe("window.merge_ms", 123.456)
+        return registry
+
+    def test_render_has_types_totals_and_eof(self):
+        text = render_openmetrics(self._registry())
+        assert "# TYPE repro_reid_invocations counter" in text
+        assert "repro_reid_invocations_total 7.0" in text
+        assert "# TYPE repro_stream_queue_depth gauge" in text
+        assert "# TYPE repro_window_merge_ms histogram" in text
+        assert text.endswith("# EOF\n")
+
+    def test_bucket_series_is_cumulative(self):
+        samples = parse_openmetrics(
+            render_openmetrics(self._registry())
+        )
+        buckets = [
+            value
+            for name, value in samples.items()
+            if name.startswith("repro_window_merge_ms_bucket")
+        ]
+        assert buckets == sorted(buckets)
+        assert samples['repro_window_merge_ms_bucket{le="+Inf"}'] == 2.0
+        assert samples["repro_window_merge_ms_count"] == 2.0
+
+    def test_round_trip_is_bit_exact(self):
+        samples = parse_openmetrics(
+            render_openmetrics(self._registry())
+        )
+        assert samples["repro_window_merge_ms_sum"] == 0.25 + 123.456
+        assert samples["repro_stream_queue_depth"] == 3.5
+        assert samples["repro_reid_invocations_total"] == 7.0
+
+    def test_metric_name_sanitized(self):
+        assert metric_name("reid.invocations") == "repro_reid_invocations"
+        assert metric_name("a-b c", prefix="") == "a_b_c"
+
+    def test_missing_eof_rejected(self):
+        with pytest.raises(ValueError):
+            parse_openmetrics("repro_x 1.0\n")
+
+    def test_sample_after_eof_rejected(self):
+        with pytest.raises(ValueError):
+            parse_openmetrics("# EOF\nrepro_x 1.0\n")
+
+
+# ---------------------------------------------------------------------------
+# Parallel reassembly: counters AND histograms are worker-count exact
+# ---------------------------------------------------------------------------
+def _engine_pipeline(telemetry, workers):
+    return IngestionPipeline(
+        tracker=TracktorTracker(),
+        merger=TMerge(k=0.1, tau_max=400, batch_size=10, seed=3),
+        window_length=300,
+        telemetry=telemetry,
+        workers=workers,
+        parallel_backend="thread",
+    )
+
+
+class TestParallelReassembly:
+    """Regression: histograms used to be dropped at the pool seam."""
+
+    @pytest.fixture(scope="class")
+    def engine_runs(self):
+        world = tiny_world(n_frames=600, seed=4)
+        runs = {}
+        for workers in (1, 2):
+            telemetry = Telemetry()
+            result = _engine_pipeline(telemetry, workers).run(world)
+            runs[workers] = (result, telemetry)
+        return runs
+
+    def test_counters_exact_across_worker_counts(self, engine_runs):
+        assert (
+            engine_runs[2][1].metrics.counters_snapshot()
+            == engine_runs[1][1].metrics.counters_snapshot()
+        )
+
+    def test_histograms_exact_across_worker_counts(self, engine_runs):
+        states = {}
+        for workers, (_, telemetry) in engine_runs.items():
+            states[workers] = {
+                name: histogram.state_dict()
+                for name, histogram in telemetry.metrics.histograms().items()
+            }
+        assert states[2] == states[1]
+        assert states[2], "expected run-level histograms under workers=2"
+
+    def test_merge_latency_histogram_covers_every_window(self, engine_runs):
+        result, telemetry = engine_runs[2]
+        histogram = telemetry.metrics.histograms()["window.merge_ms"]
+        assert histogram.count == len(result.windows)
+        summary = histogram.summary()
+        assert summary["p50"] <= summary["p95"] <= summary["p99"]
+
+    def test_window_metrics_match_across_worker_counts(self, engine_runs):
+        assert (
+            engine_runs[2][0].window_metrics
+            == engine_runs[1][0].window_metrics
+        )
