@@ -16,6 +16,9 @@ Usage::
     python -m repro.experiments monitor --frames 600    # live dashboard
     python -m repro.experiments gate --current benchmarks/results/bench_summary.json
     python -m repro.experiments perf --smoke      # batched hot-path check
+    python -m repro.experiments scenarios --smoke # regime-sweep matrix
+    python -m repro.experiments scenarios --smoke --gate \\
+        --matrix-out /tmp/matrix.json             # CI scenario gate
     python -m repro.experiments list              # show available figures
 
 Each figure runs at the same laptop scale as the benchmark suite and
@@ -627,6 +630,48 @@ def run_perf(args) -> int:
     return 0
 
 
+def run_scenarios(args) -> int:
+    """Run the regime-sweep scenario matrix; return the exit status.
+
+    The ``scenario-sweep`` CI lane: runs every named scenario through
+    the batch pipeline and the streaming service, writes the matrix
+    document, and with ``--gate`` compares it per scenario against the
+    committed baseline (non-zero exit on any single-scenario
+    regression).
+    """
+    from repro.experiments import scenarios as scenario_sweep
+
+    document = scenario_sweep.sweep(
+        seed=args.seed,
+        smoke=args.smoke,
+        only=args.only,
+        progress=lambda name: print(f"  ran {name}", file=sys.stderr),
+    )
+    out_path = scenario_sweep.write_matrix(document, args.matrix_out)
+    print(scenario_sweep.format_matrix(document))
+    print(f"\nscenario matrix written to {out_path}")
+    if args.summary_out:
+        merged = scenario_sweep.merge_into_summary(
+            document, args.summary_out
+        )
+        print(f"scenario_matrix record merged into {merged}")
+    if args.gate:
+        baseline = scenario_sweep.load_matrix(args.matrix_baseline)
+        failures = scenario_sweep.gate_matrix(
+            document, baseline, tolerance=args.tolerance
+        )
+        if failures:
+            print("scenario gate: FAIL")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        print(
+            f"scenario gate: OK ({len(document['scenarios'])} scenarios "
+            f"within {args.tolerance:.0%} of {args.matrix_baseline})"
+        )
+    return 0
+
+
 def run_faults(args) -> str:
     """Render the chaos matrix: TMerge under injected fault profiles."""
     from repro.experiments.chaos import fault_profile_sweep
@@ -676,10 +721,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "figure",
         choices=sorted(_RUNNERS) + [
-            "explain", "gate", "monitor", "perf", "list",
+            "explain", "gate", "monitor", "perf", "scenarios", "list",
         ],
         help="which figure to regenerate (or: telemetry, explain, "
-        "monitor, gate, perf, list)",
+        "monitor, gate, perf, scenarios, list)",
     )
     parser.add_argument(
         "--videos",
@@ -836,7 +881,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="use the CI smoke workload (perf only)",
+        help="use the CI smoke workload (perf and scenarios)",
     )
     parser.add_argument(
         "--repeats",
@@ -854,12 +899,51 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="JSONL trend file to append the perf record to (perf only)",
     )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="sweep seed of the scenario matrix (scenarios only, "
+        "default 0)",
+    )
+    parser.add_argument(
+        "--only",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="run only these named scenarios (scenarios only)",
+    )
+    parser.add_argument(
+        "--matrix-out",
+        default="benchmarks/results/scenario_matrix.json",
+        help="where to write the scenario matrix document "
+        "(scenarios only; the default refreshes the committed baseline)",
+    )
+    parser.add_argument(
+        "--matrix-baseline",
+        default="benchmarks/results/scenario_matrix.json",
+        help="committed scenario baseline the gate compares against "
+        "(scenarios only)",
+    )
+    parser.add_argument(
+        "--summary-out",
+        default=None,
+        help="bench summary file to fold a scenario_matrix record into "
+        "(scenarios only)",
+    )
+    parser.add_argument(
+        "--gate",
+        action="store_true",
+        help="gate the fresh matrix per scenario against "
+        "--matrix-baseline; exit non-zero on regression (scenarios only)",
+    )
     args = parser.parse_args(argv)
     if args.figure == "list":
         print(
             "available:",
             ", ".join(
-                sorted(_RUNNERS) + ["explain", "gate", "monitor", "perf"]
+                sorted(_RUNNERS)
+                + ["explain", "gate", "monitor", "perf", "scenarios"]
             ),
         )
         return 0
@@ -867,6 +951,8 @@ def main(argv: list[str] | None = None) -> int:
         return run_gate(args)
     if args.figure == "perf":
         return run_perf(args)
+    if args.figure == "scenarios":
+        return run_scenarios(args)
     if args.figure == "explain":
         if args.ledger is None or args.pair is None:
             parser.error("explain requires --ledger and --pair A B")

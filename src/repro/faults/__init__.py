@@ -26,7 +26,12 @@ from repro.faults.injectors import (
     ReidCallFaultInjector,
     WindowCrashInjector,
 )
-from repro.faults.profiles import PROFILES, FaultProfile, fault_profile
+from repro.faults.profiles import (
+    PROFILES,
+    FaultProfile,
+    compose_profiles,
+    fault_profile,
+)
 
 __all__ = [
     "InjectedFault",
@@ -42,5 +47,6 @@ __all__ = [
     "WindowCrashInjector",
     "PROFILES",
     "FaultProfile",
+    "compose_profiles",
     "fault_profile",
 ]

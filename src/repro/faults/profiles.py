@@ -258,6 +258,61 @@ PROFILES: dict[str, FaultProfile] = {
 }
 
 
+def compose_profiles(
+    name: str, parts: list[FaultProfile], seed: int = 0
+) -> FaultProfile:
+    """Compose several rate bundles into one profile.
+
+    The scenario generator (:mod:`repro.scenarios`) expresses each regime
+    axis (weather corruption, camera dropouts, …) as its own
+    :class:`FaultProfile`; this combines them into the single profile a
+    run consumes.  Rates **add** across parts and are capped at ``1.0``,
+    so a composed schedule can never exceed the sum of its parts nor a
+    valid probability — the invariant the scenario property suite pins.
+    Non-rate knobs merge conservatively: the crash-call window is the
+    union of the parts' windows, the timeout penalty is the worst
+    (largest) one, and corruption modes must agree across every part
+    that actually corrupts.
+
+    Args:
+        name: registry-style name of the composite.
+        parts: the rate bundles to combine (empty list = all-zero rates).
+        seed: master seed of the composed schedule.
+
+    Raises:
+        ValueError: when two parts request different corruption modes
+            with non-zero rates (the schedules would be ambiguous).
+    """
+    corrupt_mode = CORRUPTION_MODES[0]
+    corrupting = [p for p in parts if p.corrupt_rate > 0]
+    if corrupting:
+        modes = {p.corrupt_mode for p in corrupting}
+        if len(modes) > 1:
+            raise ValueError(
+                f"conflicting corruption modes in composition: {sorted(modes)}"
+            )
+        corrupt_mode = corrupting[0].corrupt_mode
+
+    def capped(field_name: str) -> float:
+        return min(1.0, sum(getattr(p, field_name) for p in parts))
+
+    return FaultProfile(
+        name=name,
+        reid_failure_rate=capped("reid_failure_rate"),
+        reid_timeout_rate=capped("reid_timeout_rate"),
+        timeout_penalty_ms=max(
+            [p.timeout_penalty_ms for p in parts], default=50.0
+        ),
+        corrupt_rate=capped("corrupt_rate"),
+        corrupt_mode=corrupt_mode,
+        frame_drop_rate=capped("frame_drop_rate"),
+        window_crash_rate=capped("window_crash_rate"),
+        crash_min_calls=min([p.crash_min_calls for p in parts], default=5),
+        crash_max_calls=max([p.crash_max_calls for p in parts], default=200),
+        seed=seed,
+    )
+
+
 def fault_profile(name: str, seed: int | None = None) -> FaultProfile:
     """Look up a shipped profile, optionally re-seeded.
 

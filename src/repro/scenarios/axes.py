@@ -1,0 +1,165 @@
+"""Orthogonal regime axes a scenario composes onto a dataset preset.
+
+Production feeds differ from the paper's three friendly presets along a
+handful of independent dimensions, each with its own seam in the
+existing stack:
+
+* :class:`SurgeAxis` — crowd surges: arrival-rate bursts, expressed
+  through :attr:`repro.synth.scene.SceneConfig.spawn_rate_schedule`.
+* :class:`WeatherAxis` — weather/glare: extra scheduled glare (detector
+  blinding) plus a feature-corruption schedule riding the
+  :mod:`repro.faults` ReID seam.
+* :class:`DropoutAxis` — camera dropouts: frame-drop and window-crash
+  schedules, also through :mod:`repro.faults`.
+* :class:`TailAxis` — heavy-tailed GT track-length distributions,
+  through :attr:`repro.synth.scene.SceneConfig.track_length_tail`.
+
+Every axis is a frozen, validated value object — a scenario spec is a
+pure composition of these, so its identity hash is well defined
+(:mod:`repro.scenarios.spec`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.faults.injectors import CORRUPTION_MODES
+
+
+@dataclass(frozen=True)
+class SurgeAxis:
+    """Crowd surges: arrival-rate bursts over fractions of the video.
+
+    Attributes:
+        bursts: ``(start_frac, end_frac, multiplier)`` intervals in
+            ``[0, 1]`` video-relative time; each multiplies the preset's
+            spawn rate while active (overlaps compound).  Converted to
+            absolute frames by the generator, so the same axis composes
+            with any video length.
+        max_objects_boost: extra headroom added to the scene's
+            simultaneous-object cap, letting a burst actually raise the
+            population instead of saturating the default cap.
+    """
+
+    bursts: tuple[tuple[float, float, float], ...] = ()
+    max_objects_boost: int = 0
+
+    def __post_init__(self) -> None:
+        for burst in self.bursts:
+            if len(burst) != 3:
+                raise ValueError(
+                    "bursts must be (start_frac, end_frac, multiplier)"
+                )
+            start, end, multiplier = burst
+            if not 0.0 <= start <= end <= 1.0:
+                raise ValueError(
+                    "burst fractions need 0 <= start <= end <= 1"
+                )
+            if multiplier < 0:
+                raise ValueError("burst multipliers must be non-negative")
+        if self.max_objects_boost < 0:
+            raise ValueError("max_objects_boost must be non-negative")
+
+    @property
+    def active(self) -> bool:
+        """True when this axis changes anything."""
+        return bool(self.bursts) or self.max_objects_boost > 0
+
+
+@dataclass(frozen=True)
+class WeatherAxis:
+    """Weather/glare: detector blinding plus feature corruption.
+
+    Attributes:
+        glare_rate_boost: extra glare events per 1000 frames added to
+            the preset's scheduled glare.
+        glare_strength: optional override of the scene's glare
+            visibility multiplier in ``[0, 1]`` (lower = blinder).
+        corrupt_rate: per-call probability that a ReID embedding comes
+            back corrupted (rain on the lens, sensor noise), injected
+            through the :mod:`repro.faults` feature seam.
+        corrupt_mode: ``"nan"`` or ``"swap"`` (see
+            :data:`repro.faults.injectors.CORRUPTION_MODES`).
+    """
+
+    glare_rate_boost: float = 0.0
+    glare_strength: float | None = None
+    corrupt_rate: float = 0.0
+    corrupt_mode: str = "nan"
+
+    def __post_init__(self) -> None:
+        if self.glare_rate_boost < 0:
+            raise ValueError("glare_rate_boost must be non-negative")
+        if self.glare_strength is not None and not (
+            0.0 <= self.glare_strength <= 1.0
+        ):
+            raise ValueError("glare_strength must be in [0, 1]")
+        if not 0.0 <= self.corrupt_rate <= 1.0:
+            raise ValueError("corrupt_rate must be in [0, 1]")
+        if self.corrupt_mode not in CORRUPTION_MODES:
+            raise ValueError(
+                f"corrupt_mode must be one of {CORRUPTION_MODES}"
+            )
+
+    @property
+    def active(self) -> bool:
+        """True when this axis changes anything."""
+        return (
+            self.glare_rate_boost > 0
+            or self.glare_strength is not None
+            or self.corrupt_rate > 0
+        )
+
+
+@dataclass(frozen=True)
+class DropoutAxis:
+    """Camera dropouts: frame-drop and window-crash schedules.
+
+    Attributes:
+        frame_drop_rate: per-frame probability the feed delivers an
+            empty frame (decoder stall, network blip).
+        window_crash_rate: per-window probability the merge worker is
+            killed once mid-window (and retried, per the resilience
+            layer).
+    """
+
+    frame_drop_rate: float = 0.0
+    window_crash_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.frame_drop_rate <= 1.0:
+            raise ValueError("frame_drop_rate must be in [0, 1]")
+        if not 0.0 <= self.window_crash_rate <= 1.0:
+            raise ValueError("window_crash_rate must be in [0, 1]")
+
+    @property
+    def active(self) -> bool:
+        """True when this axis changes anything."""
+        return self.frame_drop_rate > 0 or self.window_crash_rate > 0
+
+
+@dataclass(frozen=True)
+class TailAxis:
+    """Heavy-tailed GT track-length distribution.
+
+    Attributes:
+        alpha: Pareto shape of the lifetime draw; smaller values mean
+            heavier tails (more very long tracks).  ``None`` keeps the
+            preset's uniform lifetime draw.
+        max_length: optional raised ceiling on track lifetimes, so the
+            tail has somewhere to go beyond the preset's cap.
+    """
+
+    alpha: float | None = None
+    max_length: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.alpha is not None and self.alpha <= 0:
+            raise ValueError("alpha must be positive when set")
+        if self.max_length is not None and self.max_length < 1:
+            raise ValueError("max_length must be >= 1 when set")
+
+    @property
+    def active(self) -> bool:
+        """True when this axis changes anything."""
+        return self.alpha is not None or self.max_length is not None

@@ -1,0 +1,262 @@
+"""Deterministic scenario construction: ``(spec, seed) → Scenario``.
+
+:func:`build_scenario` is the tentpole seam of the scenario matrix.  It
+composes a dataset preset with the spec's regime axes into a concrete
+scene, simulates the ground-truth world, and assembles the fault profile
+and model seeds the run will use — all as a **pure function** of
+``(spec, seed)``.  Two calls with equal arguments produce bit-identical
+worlds and schedules, on any machine, which is what lets CI gate
+per-scenario metrics against a committed baseline.
+
+Seed discipline: the root :class:`numpy.random.SeedSequence` entropy is
+``[seed, int(scenario_id, 16)]``, so different scenarios at the same
+sweep seed get statistically independent streams, and a scenario's
+streams move when (and only when) its definition changes.  The root
+spawns one child per consumer — world simulation, fault schedules,
+model seeds, feed disorder — so adding a consumer never perturbs the
+existing ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, replace
+
+import numpy as np
+
+from repro.faults.profiles import FaultProfile, compose_profiles
+from repro.scenarios.spec import ScenarioSpec
+from repro.synth.datasets import preset_by_name
+from repro.synth.scene import SceneConfig
+from repro.synth.world import VideoGroundTruth, simulate_world
+
+#: Child-stream indices under the scenario root sequence.  Appending new
+#: consumers keeps existing scenario content byte-stable.
+_STREAM_WORLD = 0
+_STREAM_FAULTS = 1
+_STREAM_MODELS = 2
+_STREAM_FEED = 3
+
+#: Laptop-scale caps applied to every preset so a full matrix sweep stays
+#: CI-sized.  Relative preset character (arrival rates, speeds, person
+#: fraction, glare climate) is preserved; only the population and track
+#: lengths shrink.
+_COMPACT_MAX_INITIAL = 6
+_COMPACT_MAX_OBJECTS = 10
+_COMPACT_MIN_LIFETIME = 20
+_COMPACT_MIN_LIFETIME_CAP = 80
+_COMPACT_APPEARANCE_DIM = 16
+_COMPACT_MAX_CLUSTERS = 4
+
+
+@dataclass(frozen=True)
+class ScenarioSeeds:
+    """The derived seed bundle of one ``(spec, seed)`` instantiation.
+
+    Attributes:
+        world: seed sequence driving ground-truth simulation.
+        fault_seed: master seed of the composed fault profile.
+        reid_seed: seed of the simulated ReID model.
+        detector_seed: seed of the detection simulator.
+        disorder_seed: seed of streaming feed reordering.
+    """
+
+    world: np.random.SeedSequence
+    fault_seed: int
+    reid_seed: int
+    detector_seed: int
+    disorder_seed: int
+
+
+def derive_seeds(spec: ScenarioSpec, seed: int) -> ScenarioSeeds:
+    """Derive every seed a scenario run consumes from ``(spec, seed)``."""
+    root = np.random.SeedSequence([seed, int(spec.scenario_id, 16)])
+    children = root.spawn(4)
+    fault_seed = int(children[_STREAM_FAULTS].generate_state(1)[0])
+    model_state = children[_STREAM_MODELS].generate_state(2)
+    disorder_seed = int(children[_STREAM_FEED].generate_state(1)[0])
+    return ScenarioSeeds(
+        world=children[_STREAM_WORLD],
+        fault_seed=fault_seed,
+        reid_seed=int(model_state[0]),
+        detector_seed=int(model_state[1]),
+        disorder_seed=disorder_seed,
+    )
+
+
+def compact_scene(preset_name: str) -> SceneConfig:
+    """A preset's scene shrunk to sweep scale.
+
+    Raises:
+        KeyError: on an unknown preset name.
+    """
+    base = preset_by_name(preset_name).config
+    return replace(
+        base,
+        initial_objects=min(base.initial_objects, _COMPACT_MAX_INITIAL),
+        max_objects=min(base.max_objects, _COMPACT_MAX_OBJECTS),
+        min_track_length=max(
+            _COMPACT_MIN_LIFETIME, base.min_track_length // 4
+        ),
+        max_track_length=max(
+            _COMPACT_MIN_LIFETIME_CAP, base.max_track_length // 5
+        ),
+        appearance_dim=_COMPACT_APPEARANCE_DIM,
+        appearance_clusters=min(
+            base.appearance_clusters, _COMPACT_MAX_CLUSTERS
+        ),
+    )
+
+
+def compose_scene(spec: ScenarioSpec) -> SceneConfig:
+    """The concrete scene a spec describes: compact preset + scene axes.
+
+    The surge axis becomes an absolute-frame spawn-rate schedule, the
+    weather axis adjusts the glare climate, and the tail axis switches
+    the lifetime draw to a truncated Pareto.  Fault-seam axes (feature
+    corruption, dropouts) do not touch the scene — they compose into the
+    fault profile instead (:func:`compose_fault_profile`).
+    """
+    scene = compact_scene(spec.preset)
+    updates: dict = {}
+    if spec.surge.bursts:
+        updates["spawn_rate_schedule"] = tuple(
+            (
+                int(round(start * spec.n_frames)),
+                int(round(end * spec.n_frames)),
+                multiplier,
+            )
+            for start, end, multiplier in spec.surge.bursts
+        )
+    if spec.surge.max_objects_boost:
+        updates["max_objects"] = (
+            scene.max_objects + spec.surge.max_objects_boost
+        )
+    if spec.weather.glare_rate_boost:
+        updates["glare_rate"] = scene.glare_rate + spec.weather.glare_rate_boost
+    if spec.weather.glare_strength is not None:
+        updates["glare_strength"] = spec.weather.glare_strength
+    if spec.tail.alpha is not None:
+        updates["track_length_tail"] = spec.tail.alpha
+    if spec.tail.max_length is not None:
+        updates["max_track_length"] = max(
+            scene.max_track_length, spec.tail.max_length
+        )
+    return replace(scene, **updates) if updates else scene
+
+
+def fault_parts(spec: ScenarioSpec) -> list[FaultProfile]:
+    """The per-axis fault bundles a spec contributes, one per active axis."""
+    parts: list[FaultProfile] = []
+    if spec.weather.corrupt_rate > 0:
+        parts.append(
+            FaultProfile(
+                name=f"{spec.name}:weather",
+                corrupt_rate=spec.weather.corrupt_rate,
+                corrupt_mode=spec.weather.corrupt_mode,
+            )
+        )
+    if spec.dropout.active:
+        parts.append(
+            FaultProfile(
+                name=f"{spec.name}:dropout",
+                frame_drop_rate=spec.dropout.frame_drop_rate,
+                window_crash_rate=spec.dropout.window_crash_rate,
+            )
+        )
+    return parts
+
+
+def compose_fault_profile(
+    spec: ScenarioSpec, fault_seed: int
+) -> FaultProfile | None:
+    """The spec's composed fault profile, or ``None`` for clean scenarios.
+
+    Clean scenarios return ``None`` rather than an all-zero profile so
+    their runs take exactly the no-chaos code path (no injector wiring,
+    no implicit resilience defaults).
+    """
+    parts = fault_parts(spec)
+    if not parts:
+        return None
+    return compose_profiles(
+        f"scenario:{spec.name}", parts, seed=fault_seed
+    )
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fully instantiated scenario: world + schedules + seeds.
+
+    Attributes:
+        spec: the generating spec.
+        seed: the sweep seed this instantiation used.
+        scene: the composed scene configuration.
+        world: the simulated ground truth.
+        profile: composed fault profile (``None`` when the spec has no
+            fault-seam axes).
+        seeds: the full derived seed bundle.
+    """
+
+    spec: ScenarioSpec
+    seed: int
+    scene: SceneConfig
+    world: VideoGroundTruth
+    profile: FaultProfile | None
+    seeds: ScenarioSeeds
+
+    def fingerprint(self) -> str:
+        """A digest of everything downstream consumes.
+
+        Covers the per-frame ground-truth states (ids, boxes,
+        visibilities), the composed fault profile and the derived model
+        seeds — if any of it moves, the fingerprint moves.  Golden
+        fixtures pin these digests for representative scenarios, turning
+        "same ``(spec, seed)`` ⇒ same scenario" into a cross-machine
+        regression check.
+        """
+        frames = [
+            [
+                [
+                    state.object_id,
+                    state.bbox.x1,
+                    state.bbox.y1,
+                    state.bbox.x2,
+                    state.bbox.y2,
+                    state.visibility,
+                ]
+                for state in states
+            ]
+            for states in self.world.frames
+        ]
+        doc = {
+            "scenario_id": self.spec.scenario_id,
+            "seed": self.seed,
+            "frames": frames,
+            "n_objects": len(self.world.objects),
+            "profile": None if self.profile is None else asdict(self.profile),
+            "reid_seed": self.seeds.reid_seed,
+            "detector_seed": self.seeds.detector_seed,
+            "disorder_seed": self.seeds.disorder_seed,
+        }
+        payload = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def build_scenario(spec: ScenarioSpec, seed: int = 0) -> Scenario:
+    """Instantiate a scenario — a pure function of ``(spec, seed)``."""
+    seeds = derive_seeds(spec, seed)
+    scene = compose_scene(spec)
+    world = simulate_world(
+        scene, spec.n_frames, seed=np.random.default_rng(seeds.world)
+    )
+    profile = compose_fault_profile(spec, seeds.fault_seed)
+    return Scenario(
+        spec=spec,
+        seed=seed,
+        scene=scene,
+        world=world,
+        profile=profile,
+        seeds=seeds,
+    )

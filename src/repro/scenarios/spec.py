@@ -1,0 +1,97 @@
+"""Scenario specifications and their stable identity hashes.
+
+A :class:`ScenarioSpec` names one cell of the regime matrix: a dataset
+preset plus one setting of each orthogonal axis
+(:mod:`repro.scenarios.axes`).  The spec is a pure value — everything a
+run needs is in it, so the generated world, fault schedule and derived
+seeds are a pure function of ``(spec, seed)``.
+
+Each spec carries a :attr:`~ScenarioSpec.scenario_id`: a short, stable
+hash of its canonical JSON form.  The sweep baseline stores the id next
+to each scenario's metrics, so the gate can tell "this scenario's
+definition changed" (refresh the baseline) apart from "this scenario
+regressed" (fail the build).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+
+from repro.scenarios.axes import DropoutAxis, SurgeAxis, TailAxis, WeatherAxis
+from repro.synth.datasets import preset_by_name
+
+#: Hex digits kept from the spec digest.  48 bits is far beyond collision
+#: range for a matrix of dozens of scenarios while staying readable in
+#: diffs and CI logs.
+ID_HEX_CHARS = 12
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named cell of the scenario matrix.
+
+    Attributes:
+        name: unique human-readable name (``mot17-rush-hour``).
+        preset: dataset preset the scene derives from (``mot17``,
+            ``kitti`` or ``pathtrack``).
+        n_frames: video length in frames.
+        window_length: merge window length ``L`` used when running the
+            scenario through the pipeline or the streaming service.
+        surge: crowd-surge axis setting.
+        weather: weather/glare axis setting.
+        dropout: camera-dropout axis setting.
+        tail: track-length-tail axis setting.
+    """
+
+    name: str
+    preset: str
+    n_frames: int = 600
+    window_length: int = 300
+    surge: SurgeAxis = field(default_factory=SurgeAxis)
+    weather: WeatherAxis = field(default_factory=WeatherAxis)
+    dropout: DropoutAxis = field(default_factory=DropoutAxis)
+    tail: TailAxis = field(default_factory=TailAxis)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("scenario name must be non-empty")
+        preset_by_name(self.preset)  # raises KeyError on unknown names
+        if self.n_frames < 1:
+            raise ValueError("n_frames must be >= 1")
+        if self.window_length < 2:
+            raise ValueError("window_length must be >= 2")
+
+    def to_dict(self) -> dict:
+        """This spec as a plain JSON-serializable dict."""
+        return asdict(self)
+
+    def canonical_json(self) -> str:
+        """Canonical (sorted-key, compact) JSON form — the hash input."""
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+
+    @property
+    def scenario_id(self) -> str:
+        """Stable short hash identifying this exact spec.
+
+        Any change to any field — including the name — produces a new
+        id, which is exactly what the sweep gate wants: a changed
+        definition must be consciously re-baselined, never silently
+        compared against stale numbers.
+        """
+        digest = hashlib.sha256(self.canonical_json().encode("utf-8"))
+        return digest.hexdigest()[:ID_HEX_CHARS]
+
+    @property
+    def active_axes(self) -> tuple[str, ...]:
+        """Names of the axes this scenario actually exercises."""
+        axes = (
+            ("surge", self.surge),
+            ("weather", self.weather),
+            ("dropout", self.dropout),
+            ("tail", self.tail),
+        )
+        return tuple(name for name, axis in axes if axis.active)

@@ -56,6 +56,20 @@ class SceneConfig:
             make same-cluster objects harder to tell apart.
         random_walk_fraction: fraction of objects using a random-walk motion
             model instead of constant velocity (pedestrian loitering).
+        spawn_rate_schedule: arrival-rate bursts — ``(start_frame,
+            end_frame, multiplier)`` intervals applied multiplicatively to
+            ``spawn_rate`` while ``start_frame <= t < end_frame``
+            (overlapping intervals compound).  The empty default keeps the
+            arrival process exactly as before, bit-for-bit; the scenario
+            generator (:mod:`repro.scenarios`) uses this seam to model
+            crowd surges.
+        track_length_tail: when set, GT track lifetimes are drawn from a
+            truncated Pareto with this shape parameter instead of the
+            uniform ``[min_track_length, max_track_length]`` draw —
+            ``lifetime = clip(min·(1 + Pareto(α)), min, max)``.  Smaller
+            α means heavier tails (more very long tracks).  ``None``
+            (default) keeps the uniform draw bit-identical to the
+            pre-scenario simulator.
     """
 
     width: float = 1920.0
@@ -82,6 +96,8 @@ class SceneConfig:
     appearance_clusters: int = 20
     cluster_spread: float = 0.75
     random_walk_fraction: float = 0.25
+    spawn_rate_schedule: tuple[tuple[int, int, float], ...] = ()
+    track_length_tail: float | None = None
 
     def __post_init__(self) -> None:
         if self.width <= 0 or self.height <= 0:
@@ -98,6 +114,36 @@ class SceneConfig:
             raise ValueError("appearance_clusters must be non-negative")
         if self.cluster_spread < 0:
             raise ValueError("cluster_spread must be non-negative")
+        for interval in self.spawn_rate_schedule:
+            if len(interval) != 3:
+                raise ValueError(
+                    "spawn_rate_schedule entries must be "
+                    "(start_frame, end_frame, multiplier)"
+                )
+            start, end, multiplier = interval
+            if start < 0 or end < start:
+                raise ValueError(
+                    "spawn_rate_schedule needs 0 <= start_frame <= end_frame"
+                )
+            if multiplier < 0:
+                raise ValueError(
+                    "spawn_rate_schedule multipliers must be non-negative"
+                )
+        if self.track_length_tail is not None and self.track_length_tail <= 0:
+            raise ValueError("track_length_tail must be positive when set")
+
+    def spawn_multiplier_at(self, frame: int) -> float:
+        """The compounded arrival-rate multiplier in force at ``frame``.
+
+        Overlapping schedule intervals multiply together; with an empty
+        schedule this is exactly ``1.0`` everywhere, so the default
+        arrival process is unchanged bit-for-bit.
+        """
+        multiplier = 1.0
+        for start, end, value in self.spawn_rate_schedule:
+            if start <= frame < end:
+                multiplier *= value
+        return multiplier
 
     @property
     def l_max(self) -> int:

@@ -133,9 +133,24 @@ def _make_object(
     jitter = float(np.clip(jitter, 0.5, 1.8))
     size = (base_w * jitter, base_h * jitter)
 
-    lifetime = int(
-        rng.integers(config.min_track_length, config.max_track_length + 1)
-    )
+    if config.track_length_tail is not None:
+        # Heavy-tailed lifetimes (scenario regimes): truncated Pareto with
+        # shape α, anchored at the minimum lifetime.  One draw per object,
+        # like the uniform branch, so enabling the tail never perturbs any
+        # other stream — and the default (None) keeps the uniform draw
+        # bit-identical to the pre-scenario simulator.
+        draw = float(rng.pareto(config.track_length_tail))
+        lifetime = int(
+            np.clip(
+                config.min_track_length * (1.0 + draw),
+                config.min_track_length,
+                config.max_track_length,
+            )
+        )
+    else:
+        lifetime = int(
+            rng.integers(config.min_track_length, config.max_track_length + 1)
+        )
 
     speed = max(float(rng.normal(config.mean_speed, config.speed_jitter)), 0.3)
     # Vehicles move faster than pedestrians.
@@ -253,8 +268,13 @@ def simulate_world(
     active: set[int] = set(objects)
     for frame in range(n_frames):
         # Spawn new arrivals (Poisson), respecting the population cap.
+        # The scenario surge schedule scales the rate per frame; the
+        # default empty schedule multiplies by 1.0, leaving the Poisson
+        # stream untouched bit-for-bit.
         n_alive = sum(1 for oid in active if objects[oid].alive_at(frame))
-        n_spawn = int(rng.poisson(config.spawn_rate))
+        n_spawn = int(
+            rng.poisson(config.spawn_rate * config.spawn_multiplier_at(frame))
+        )
         for _ in range(n_spawn):
             if n_alive >= config.max_objects:
                 break

@@ -19,6 +19,7 @@ from helpers import tiny_world  # noqa: E402
 from repro.core.pipeline import IngestionPipeline  # noqa: E402
 from repro.core.tmerge import TMerge  # noqa: E402
 from repro.detect import NoisyDetector  # noqa: E402
+from repro.scenarios import build_scenario, scenario_by_name  # noqa: E402
 from repro.track import TracktorTracker  # noqa: E402
 
 
@@ -39,12 +40,19 @@ def tracks(world, detections):
 
 
 @pytest.fixture(scope="session")
-def chaos_world():
+def scenario_world():
     """The busier 240-frame world the pipeline/resilience/chaos/parallel
-    tests share (read-only): enough concurrent objects and track churn
-    to produce several non-trivial windows."""
-    return tiny_world(n_frames=240, seed=21, initial_objects=6,
-                      max_objects=10, spawn_rate=0.03)
+    and streaming-restart tests share (read-only): the scenario matrix's
+    axis-free ``chaos-baseline`` compact world, with enough concurrent
+    objects and track churn to produce several non-trivial windows."""
+    return build_scenario(scenario_by_name("chaos-baseline"), seed=21).world
+
+
+@pytest.fixture(scope="session")
+def chaos_world(scenario_world):
+    """Alias of :func:`scenario_world` kept for the suites that predate
+    the scenario matrix (same object — both names must stay one world)."""
+    return scenario_world
 
 
 @pytest.fixture

@@ -1,0 +1,46 @@
+"""Regenerate ``scenario_golden.json`` — pinned scenario fingerprints.
+
+Run from the repo root after a *conscious* scenario-generator change::
+
+    PYTHONPATH=src python tests/fixtures/make_scenario_golden.py
+
+The fixture pins ``Scenario.fingerprint()`` at seed 0 for one clear
+scenario plus one per regime-axis family, so an accidental change to
+world simulation, fault composition or seed derivation fails
+``tests/test_scenarios.py::TestGoldenFingerprints`` instead of silently
+shifting every committed baseline.
+"""
+
+import json
+from pathlib import Path
+
+from repro.scenarios import build_scenario, scenario_by_name
+
+#: One clear scenario plus one representative per axis family.
+GOLDEN_SCENARIOS = (
+    "mot17-clear",
+    "mot17-rush-hour",
+    "kitti-sun-glare",
+    "kitti-camera-dropout",
+    "pathtrack-longtail",
+)
+
+OUT = Path(__file__).parent / "scenario_golden.json"
+
+
+def build_golden() -> dict:
+    golden = {}
+    for name in GOLDEN_SCENARIOS:
+        spec = scenario_by_name(name)
+        scenario = build_scenario(spec, seed=0)
+        golden[name] = {
+            "scenario_id": spec.scenario_id,
+            "fingerprint": scenario.fingerprint(),
+            "n_objects": len(scenario.world.objects),
+        }
+    return golden
+
+
+if __name__ == "__main__":
+    OUT.write_text(json.dumps(build_golden(), indent=2, sort_keys=True) + "\n")
+    print(f"wrote {OUT}")

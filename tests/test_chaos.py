@@ -22,7 +22,7 @@ from repro.track import TracktorTracker
 PROFILE_NAME = os.environ.get("REPRO_FAULT_PROFILE", "flaky-reid")
 
 
-def test_pipeline_survives_profile(chaos_world):
+def test_pipeline_survives_profile(scenario_world):
     profile = fault_profile(PROFILE_NAME, seed=13)
     pipeline = IngestionPipeline(
         tracker=TracktorTracker(),
@@ -37,9 +37,9 @@ def test_pipeline_survives_profile(chaos_world):
         window_length=300,
         fault_profile=profile,
     )
-    result = pipeline.run(chaos_world)
+    result = pipeline.run(scenario_world)
 
-    assert len(result.detections) == chaos_world.n_frames
+    assert len(result.detections) == scenario_world.n_frames
     assert len(result.window_results) == len(result.windows)
     for window_result in result.window_results:
         assert all(0.0 <= v <= 1.0 for v in window_result.scores.values())
@@ -48,7 +48,7 @@ def test_pipeline_survives_profile(chaos_world):
     assert result.cost.seconds >= 0.0
 
 
-def test_profile_run_is_reproducible(chaos_world):
+def test_profile_run_is_reproducible(scenario_world):
     def run():
         pipeline = IngestionPipeline(
             tracker=TracktorTracker(),
@@ -56,7 +56,7 @@ def test_profile_run_is_reproducible(chaos_world):
             window_length=300,
             fault_profile=fault_profile(PROFILE_NAME, seed=13),
         )
-        result = pipeline.run(chaos_world)
+        result = pipeline.run(scenario_world)
         return (
             [r.candidate_keys for r in result.window_results],
             result.cost.seconds,

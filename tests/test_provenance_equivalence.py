@@ -181,8 +181,58 @@ class TestPipelineTransparency:
         assert _pipeline_fingerprint(observed) == _pipeline_fingerprint(
             plain
         )
+        # The ledger stamps exactly the windows that had pairs to merge
+        # (empty windows never reach the merger).
         windows = {e.window for e in ledger if e.kind == "window"}
-        assert len(windows) == len(plain.window_results)
+        assert windows == {
+            c for c, pairs in enumerate(plain.window_pairs) if pairs
+        }
+
+
+class TestScenarioTransparency:
+    """Ledger bit-transparency holds under every regime the scenario
+    matrix throws at the pipeline — surges, corruption, dropouts and
+    compound storms, not just the friendly fixture world."""
+
+    SCENARIOS = (
+        "mot17-clear",
+        "kitti-camera-dropout",
+        "mot17-perfect-storm",
+    )
+
+    @pytest.mark.parametrize("name", SCENARIOS)
+    def test_ledger_transparent_under_scenario(self, name):
+        from repro.core.pipeline import IngestionPipeline
+        from repro.scenarios import (
+            build_scenario,
+            scenario_by_name,
+            smoke_variant,
+        )
+
+        spec = smoke_variant(scenario_by_name(name))
+        scenario = build_scenario(spec, seed=0)
+
+        def run(ledger=None):
+            pipeline = IngestionPipeline(
+                tracker=TracktorTracker(),
+                merger=TMerge(k=0.1, tau_max=80, batch_size=10, seed=3),
+                window_length=spec.window_length,
+                reid_seed=scenario.seeds.reid_seed,
+                detector_seed=scenario.seeds.detector_seed,
+                fault_profile=scenario.profile,
+                workers=1,
+                parallel_backend="thread",
+                ledger=ledger,
+            )
+            return pipeline.run(scenario.world)
+
+        plain = run()
+        ledger = DecisionLedger()
+        observed = run(ledger=ledger)
+        assert _pipeline_fingerprint(observed) == _pipeline_fingerprint(
+            plain
+        )
+        assert len(ledger) > 0
 
 
 def _service(store, *, ledger=None, seed=1, profile=None):

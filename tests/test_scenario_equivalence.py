@@ -1,0 +1,118 @@
+"""Differential determinism over named scenarios: a scenario run is
+bit-identical across worker counts (within each batch size) and across
+reruns, through both the batch pipeline and the streaming service.
+
+Batch sizes are separate algorithm variants (B=1 is the scalar path,
+B=8 the batched sampler), so the contract is worker-invariance *within*
+each batch size — never cross-batch identity.
+"""
+
+import pytest
+
+from repro.core.pipeline import IngestionPipeline
+from repro.core.tmerge import TMerge
+from repro.scenarios import build_scenario, scenario_by_name, smoke_variant
+from repro.streaming import StreamingIngestionService, SyntheticFeedSource
+from repro.track.tracktor import TracktorTracker
+
+#: Named scenarios with distinct fault make-ups: clean, dropout-heavy,
+#: and every axis at once.
+SCENARIOS = ("mot17-clear", "kitti-camera-dropout", "mot17-perfect-storm")
+
+BATCH_SIZES = (1, 8)
+WORKER_COUNTS = (2, 4)
+
+
+@pytest.fixture(scope="module", params=SCENARIOS)
+def scenario(request):
+    """One smoke-scale instantiation per named scenario (read-only)."""
+    spec = smoke_variant(scenario_by_name(request.param))
+    return build_scenario(spec, seed=0)
+
+
+def _run_batch(scenario, workers, batch_size):
+    pipeline = IngestionPipeline(
+        tracker=TracktorTracker(),
+        merger=TMerge(k=0.1, tau_max=80, batch_size=batch_size, seed=3),
+        window_length=scenario.spec.window_length,
+        reid_seed=scenario.seeds.reid_seed,
+        detector_seed=scenario.seeds.detector_seed,
+        fault_profile=scenario.profile,
+        workers=workers,
+        parallel_backend="thread",
+    )
+    return pipeline.run(scenario.world)
+
+
+def _batch_fingerprint(result):
+    return {
+        "candidates": [
+            tuple(sorted(r.candidate_keys)) for r in result.window_results
+        ],
+        "scores": [
+            tuple(sorted(r.scores.items())) for r in result.window_results
+        ],
+        "degraded": [r.degraded for r in result.window_results],
+        "simulated_seconds": [
+            r.simulated_seconds for r in result.window_results
+        ],
+        "cost": result.cost.state_dict(),
+        "resilience": dict(result.resilience_stats),
+    }
+
+
+def _run_stream(scenario, workers):
+    source = SyntheticFeedSource(
+        scenario.world,
+        detector_seed=scenario.seeds.detector_seed,
+        disorder_ms=50.0,
+        disorder_seed=scenario.seeds.disorder_seed,
+        fault_profile=scenario.profile,
+    )
+    service = StreamingIngestionService(
+        TracktorTracker(),
+        TMerge(k=0.1, tau_max=80, batch_size=10, seed=3),
+        window_length=scenario.spec.window_length,
+        allowed_lateness=4,
+        reid_seed=scenario.seeds.reid_seed,
+        workers=workers,
+        parallel_backend="thread",
+        fault_profile=scenario.profile,
+    )
+    return service.run(source)
+
+
+class TestBatchPipelineWorkerInvariance:
+    @pytest.fixture(scope="class")
+    def references(self, scenario):
+        """The single-worker fingerprint per batch size."""
+        return {
+            batch_size: _batch_fingerprint(
+                _run_batch(scenario, workers=1, batch_size=batch_size)
+            )
+            for batch_size in BATCH_SIZES
+        }
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES)
+    def test_workers_do_not_move_the_result(
+        self, scenario, references, workers, batch_size
+    ):
+        observed = _run_batch(
+            scenario, workers=workers, batch_size=batch_size
+        )
+        assert _batch_fingerprint(observed) == references[batch_size]
+
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES)
+    def test_rerun_is_bit_identical(self, scenario, references, batch_size):
+        observed = _run_batch(scenario, workers=1, batch_size=batch_size)
+        assert _batch_fingerprint(observed) == references[batch_size]
+
+
+class TestStreamingWorkerInvariance:
+    def test_workers_do_not_move_the_emissions(self, scenario):
+        reference = _run_stream(scenario, workers=1)
+        assert len(reference.emissions) >= 1
+        observed = _run_stream(scenario, workers=2)
+        assert observed.fingerprints() == reference.fingerprints()
+        assert observed.watermark == reference.watermark

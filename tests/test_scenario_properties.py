@@ -1,0 +1,210 @@
+"""Property-based invariants of the scenario generator: purity of
+``(spec, seed) → scenario``, identity-hash stability, and composed
+fault schedules never exceeding their axis-spec'd rates."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.faults import FaultProfile, compose_profiles
+from repro.scenarios import (
+    DropoutAxis,
+    ScenarioSpec,
+    SurgeAxis,
+    TailAxis,
+    WeatherAxis,
+    build_scenario,
+    compose_fault_profile,
+    compose_scene,
+    derive_seeds,
+    fault_parts,
+)
+
+rates = st.floats(
+    min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def surge_axes(draw):
+    n_bursts = draw(st.integers(min_value=0, max_value=2))
+    bursts = []
+    for _ in range(n_bursts):
+        start = draw(st.floats(min_value=0.0, max_value=1.0))
+        end = draw(st.floats(min_value=start, max_value=1.0))
+        multiplier = draw(st.floats(min_value=0.0, max_value=6.0))
+        bursts.append((start, end, multiplier))
+    boost = draw(st.integers(min_value=0, max_value=8))
+    return SurgeAxis(bursts=tuple(bursts), max_objects_boost=boost)
+
+
+@st.composite
+def weather_axes(draw):
+    return WeatherAxis(
+        glare_rate_boost=draw(st.floats(min_value=0.0, max_value=8.0)),
+        glare_strength=draw(
+            st.none() | st.floats(min_value=0.0, max_value=1.0)
+        ),
+        corrupt_rate=draw(rates),
+        corrupt_mode=draw(st.sampled_from(["nan", "swap"])),
+    )
+
+
+@st.composite
+def dropout_axes(draw):
+    return DropoutAxis(
+        frame_drop_rate=draw(rates),
+        window_crash_rate=draw(rates),
+    )
+
+
+@st.composite
+def tail_axes(draw):
+    return TailAxis(
+        alpha=draw(st.none() | st.floats(min_value=0.5, max_value=4.0)),
+        max_length=draw(st.none() | st.integers(min_value=40, max_value=300)),
+    )
+
+
+@st.composite
+def specs(draw, n_frames=st.integers(min_value=40, max_value=90)):
+    """Small arbitrary scenario specs (short videos keep builds fast)."""
+    return ScenarioSpec(
+        name=draw(st.sampled_from(["prop-a", "prop-b", "prop-c"])),
+        preset=draw(st.sampled_from(["mot17", "kitti", "pathtrack"])),
+        n_frames=draw(n_frames),
+        window_length=draw(st.integers(min_value=10, max_value=40)),
+        surge=draw(surge_axes()),
+        weather=draw(weather_axes()),
+        dropout=draw(dropout_axes()),
+        tail=draw(tail_axes()),
+    )
+
+
+class TestGeneratorPurity:
+    @settings(max_examples=10, deadline=None)
+    @given(spec=specs(), seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_build_is_bit_identical_for_equal_inputs(self, spec, seed):
+        first = build_scenario(spec, seed)
+        again = build_scenario(spec, seed)
+        assert first.fingerprint() == again.fingerprint()
+        assert first.scene == again.scene
+        assert first.profile == again.profile
+        assert first.seeds.reid_seed == again.seeds.reid_seed
+
+    @settings(max_examples=15, deadline=None)
+    @given(spec=specs(), seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_derived_seeds_are_a_pure_function(self, spec, seed):
+        first = derive_seeds(spec, seed)
+        again = derive_seeds(spec, seed)
+        assert first.fault_seed == again.fault_seed
+        assert first.reid_seed == again.reid_seed
+        assert first.detector_seed == again.detector_seed
+        assert first.disorder_seed == again.disorder_seed
+
+
+class TestIdentityHash:
+    @settings(max_examples=25, deadline=None)
+    @given(spec=specs())
+    def test_id_depends_only_on_the_spec_value(self, spec):
+        clone = ScenarioSpec(**{
+            field: getattr(spec, field)
+            for field in (
+                "name", "preset", "n_frames", "window_length",
+                "surge", "weather", "dropout", "tail",
+            )
+        })
+        assert clone.scenario_id == spec.scenario_id
+        assert clone.canonical_json() == spec.canonical_json()
+
+    @settings(max_examples=25, deadline=None)
+    @given(spec=specs(), bump=st.integers(min_value=1, max_value=1000))
+    def test_any_frame_count_change_moves_the_id(self, spec, bump):
+        import dataclasses
+
+        moved = dataclasses.replace(spec, n_frames=spec.n_frames + bump)
+        assert moved.scenario_id != spec.scenario_id
+
+
+class TestFaultComposition:
+    @settings(max_examples=25, deadline=None)
+    @given(spec=specs(), fault_seed=st.integers(min_value=0, max_value=2**31))
+    def test_composed_rates_never_exceed_the_axis_rates(
+        self, spec, fault_seed
+    ):
+        profile = compose_fault_profile(spec, fault_seed)
+        if profile is None:
+            # Clean scenario: no axis asked for any fault.
+            assert spec.weather.corrupt_rate == 0.0
+            assert not spec.dropout.active
+            return
+        assert profile.corrupt_rate == spec.weather.corrupt_rate
+        assert profile.frame_drop_rate == spec.dropout.frame_drop_rate
+        assert profile.window_crash_rate == spec.dropout.window_crash_rate
+        assert profile.reid_failure_rate == 0.0
+        assert profile.seed == fault_seed
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        part_rates=st.lists(
+            st.tuples(rates, rates, rates), min_size=0, max_size=4
+        )
+    )
+    def test_compose_profiles_caps_at_the_sum_of_parts(self, part_rates):
+        parts = [
+            FaultProfile(
+                name=f"part-{index}",
+                corrupt_rate=corrupt,
+                frame_drop_rate=drop,
+                window_crash_rate=crash,
+            )
+            for index, (corrupt, drop, crash) in enumerate(part_rates)
+        ]
+        composed = compose_profiles("composite", parts, seed=0)
+        for field in ("corrupt_rate", "frame_drop_rate", "window_crash_rate"):
+            value = getattr(composed, field)
+            total = sum(getattr(p, field) for p in parts)
+            assert 0.0 <= value <= 1.0
+            assert value == min(1.0, total)
+            for part in parts:
+                assert value >= getattr(part, field) or value == 1.0
+
+    def test_conflicting_corruption_modes_are_rejected(self):
+        parts = [
+            FaultProfile(name="a", corrupt_rate=0.1, corrupt_mode="nan"),
+            FaultProfile(name="b", corrupt_rate=0.1, corrupt_mode="swap"),
+        ]
+        with pytest.raises(ValueError, match="conflicting corruption modes"):
+            compose_profiles("composite", parts)
+
+
+class TestSceneComposition:
+    @settings(max_examples=25, deadline=None)
+    @given(spec=specs())
+    def test_schedule_stays_inside_the_video(self, spec):
+        scene = compose_scene(spec)
+        for start, end, multiplier in scene.spawn_rate_schedule:
+            assert 0 <= start <= end <= spec.n_frames
+            assert multiplier >= 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(spec=specs(), frame=st.integers(min_value=0, max_value=200))
+    def test_spawn_multiplier_is_the_product_of_active_bursts(
+        self, spec, frame
+    ):
+        scene = compose_scene(spec)
+        expected = 1.0
+        for start, end, multiplier in scene.spawn_rate_schedule:
+            if start <= frame < end:
+                expected *= multiplier
+        assert scene.spawn_multiplier_at(frame) == pytest.approx(expected)
+
+    @settings(max_examples=25, deadline=None)
+    @given(spec=specs())
+    def test_fault_parts_mirror_exactly_the_active_fault_axes(self, spec):
+        names = [part.name for part in fault_parts(spec)]
+        expected = []
+        if spec.weather.corrupt_rate > 0:
+            expected.append(f"{spec.name}:weather")
+        if spec.dropout.active:
+            expected.append(f"{spec.name}:dropout")
+        assert names == expected

@@ -14,8 +14,6 @@ import os
 
 import pytest
 
-from helpers import tiny_world
-
 from repro.core.tmerge import TMerge
 from repro.faults import fault_profile
 from repro.resilience import CheckpointStore
@@ -26,12 +24,6 @@ from repro.track import TracktorTracker
 SEEDS = (1, 5)
 PROFILES = (None, "flaky-reid", "window-crash")
 FAULT_SEED = 11
-
-
-@pytest.fixture(scope="module")
-def stream_world():
-    return tiny_world(n_frames=240, seed=21, initial_objects=6,
-                      max_objects=10, spawn_rate=0.03)
 
 
 def _profile(name):
@@ -77,9 +69,9 @@ def _final_digest(result):
 
 @pytest.mark.parametrize("seed", SEEDS)
 @pytest.mark.parametrize("profile_name", PROFILES)
-def test_kill_resume_bit_identical(stream_world, seed, profile_name):
+def test_kill_resume_bit_identical(scenario_world, seed, profile_name):
     profile = _profile(profile_name)
-    source = _source(stream_world, profile)
+    source = _source(scenario_world, profile)
     reference = _service(
         CheckpointStore(), seed=seed, profile=profile
     ).run(source)
@@ -100,9 +92,9 @@ def test_kill_resume_bit_identical(stream_world, seed, profile_name):
     assert _final_digest(resumed) == _final_digest(reference)
 
 
-def test_repeated_crashes_still_identical(stream_world):
+def test_repeated_crashes_still_identical(scenario_world):
     """Crashing after every single window changes nothing."""
-    source = _source(stream_world, None)
+    source = _source(scenario_world, None)
     reference = _service(CheckpointStore()).run(source)
 
     store = CheckpointStore()
@@ -116,9 +108,9 @@ def test_repeated_crashes_still_identical(stream_world):
     assert _final_digest(result) == _final_digest(reference)
 
 
-def test_disk_backed_process_restart(stream_world, tmp_path):
+def test_disk_backed_process_restart(scenario_world, tmp_path):
     """A brand-new store over the same directory = a new process."""
-    source = _source(stream_world, _profile("flaky-reid"))
+    source = _source(scenario_world, _profile("flaky-reid"))
     reference = _service(
         CheckpointStore(), profile=_profile("flaky-reid")
     ).run(source)
@@ -136,9 +128,9 @@ def test_disk_backed_process_restart(stream_world, tmp_path):
     assert _final_digest(resumed) == _final_digest(reference)
 
 
-def test_worker_count_change_across_crash(stream_world):
+def test_worker_count_change_across_crash(scenario_world):
     """Resuming with a different fan-out must not change results."""
-    source = _source(stream_world, None)
+    source = _source(scenario_world, None)
     reference = _service(CheckpointStore()).run(source)
 
     store = CheckpointStore()
@@ -149,17 +141,17 @@ def test_worker_count_change_across_crash(stream_world):
     assert _final_digest(resumed) == _final_digest(reference)
 
 
-def test_fresh_store_means_fresh_start(stream_world):
+def test_fresh_store_means_fresh_start(scenario_world):
     """No snapshot → the service starts from offset 0, by design."""
-    source = _source(stream_world, None)
+    source = _source(scenario_world, None)
     killed = _service(CheckpointStore()).run(source, stop_after_windows=1)
-    assert killed.stopped and killed.position < stream_world.n_frames
+    assert killed.stopped and killed.position < scenario_world.n_frames
     fresh = _service(CheckpointStore()).run(source)
     assert fresh.emissions[0].fingerprint() == killed.emissions[0].fingerprint()
-    assert fresh.position == stream_world.n_frames
+    assert fresh.position == scenario_world.n_frames
 
 
-def test_window_metrics_stitch_across_restart(stream_world):
+def test_window_metrics_stitch_across_restart(scenario_world):
     """Per-emission counter deltas neither double-count nor drop.
 
     ``StreamRunResult.window_metrics`` holds one delta per emission; a
@@ -167,7 +159,7 @@ def test_window_metrics_stitch_across_restart(stream_world):
     resumed service re-records nothing for windows already emitted and
     skips nothing for windows still pending.
     """
-    source = _source(stream_world, None)
+    source = _source(scenario_world, None)
     reference = _service(
         CheckpointStore(), telemetry=Telemetry()
     ).run(source)
@@ -183,9 +175,9 @@ def test_window_metrics_stitch_across_restart(stream_world):
     assert stitched == reference.window_metrics
 
 
-def test_absorbed_spans_stitch_across_restart(stream_world):
+def test_absorbed_spans_stitch_across_restart(scenario_world):
     """Tracer.absorb across a restart covers each window exactly once."""
-    source = _source(stream_world, None)
+    source = _source(scenario_world, None)
     ref_telemetry = Telemetry()
     reference = _service(
         CheckpointStore(), telemetry=ref_telemetry
@@ -230,9 +222,9 @@ def test_absorbed_spans_stitch_across_restart(stream_world):
     assert stitched == name_counts(ref_telemetry)
 
 
-def test_telemetry_counters_stitch_across_restart(stream_world):
+def test_telemetry_counters_stitch_across_restart(scenario_world):
     """Registry counters over both halves sum to the reference run's."""
-    source = _source(stream_world, None)
+    source = _source(scenario_world, None)
     ref_telemetry = Telemetry()
     _service(CheckpointStore(), telemetry=ref_telemetry).run(source)
     ref_counters = ref_telemetry.metrics.counters_snapshot()
